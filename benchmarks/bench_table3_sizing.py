@@ -1,0 +1,47 @@
+"""Table 3: design-space ranges and the selected architecture.
+
+Re-derives the overhead-minimising PCU parameters by running the
+Figure 7 sweeps, and checks the selected (paper) values sit inside the
+low-overhead region of our re-derived curves.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.eval import figure7, table3
+
+
+def test_table3_selection(benchmark):
+    rows = benchmark.pedantic(table3.generate,
+                              kwargs={"scale": "small",
+                                      "run_sweeps": True},
+                              iterations=1, rounds=1)
+    save_report("table3_sizing", table3.render(rows))
+    # paper-selected values match our DEFAULT architecture
+    for name, row in rows.items():
+        if row["paper"] is not None:
+            assert row["selected"] == row["paper"], name
+
+
+def test_pmu_bank_size_rederived(benchmark):
+    """Section 3.7: the smallest bank size fitting every benchmark's
+    tiles (<=4000 words per bank) is the paper's 16 KB."""
+    report = benchmark.pedantic(figure7.pmu_sweep, iterations=1,
+                                rounds=1)
+    save_report("table3_pmu_sizing", "\n".join(
+        f"{v:3d} KB banks: fit={r['fit_fraction']:.2f} "
+        f"stranded={r['avg_stranded']:.2f}"
+        for v, r in report.items()))
+    assert figure7.select_bank_kb(report) == 16
+
+
+def test_selected_stages_in_low_overhead_region(benchmark):
+    param, values = figure7.SWEEPS["a_stages"]
+    curves = benchmark.pedantic(figure7.sweep, args=(param, values),
+                                kwargs={"scale": "small"},
+                                iterations=1, rounds=1)
+    avg = figure7.average_curve(curves)
+    # the paper's choice (6) must be within 25% overhead of the optimum
+    best = min(o for o in avg.values() if o is not None)
+    assert avg[6] is not None
+    assert avg[6] - best < 0.25

@@ -1,0 +1,24 @@
+"""Table 5: chip area breakdown and Section 4.2 headline numbers."""
+
+import pytest
+
+from conftest import save_report
+from repro.arch.params import DEFAULT
+from repro.eval import table5
+from repro.eval.paper_data import HEADLINE, TABLE5
+
+
+def test_table5_regeneration(benchmark):
+    measured = benchmark(table5.generate, DEFAULT)
+    save_report("table5_area", table5.render(measured))
+    # the area model is calibrated: the roll-up must match the paper
+    assert measured["chip_total"] == pytest.approx(
+        TABLE5["chip_total"], rel=0.01)
+    assert measured["pcu_total"] == pytest.approx(
+        TABLE5["pcu_total"], rel=0.01)
+    assert measured["pmu_total"] == pytest.approx(
+        TABLE5["pmu_total"], rel=0.01)
+    assert measured["peak_tflops"] == pytest.approx(
+        HEADLINE["peak_tflops"], rel=0.01)
+    assert measured["max_power_w"] == pytest.approx(
+        HEADLINE["max_power_w"], rel=0.05)

@@ -1,0 +1,33 @@
+"""Table 6: area overheads of generalizing ASICs into Plasticine.
+
+Regenerates the five-step homogenization ladder over the compiler's
+virtual-unit requirements for the 12 Table 6 benchmarks and checks the
+paper's qualitative findings.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.eval import table6
+
+
+def test_table6_regeneration(benchmark):
+    results = benchmark.pedantic(table6.generate,
+                                 kwargs={"scale": "small"},
+                                 iterations=1, rounds=1)
+    save_report("table6_overheads", table6.render(results))
+
+    # paper: reconfigurable units cost ~2.8x over ASIC on average
+    mean_a = table6.geomean(t["a"] for t in results.values())
+    assert 1.8 <= mean_a <= 4.5
+
+    # every step is an overhead relative to the ASIC
+    for name, t in results.items():
+        assert t["a"] > 1.0, name
+        assert t["e_cum"] > t["a"] * 0.8, name
+
+    # the paper's spread: cumulative overheads vary by benchmark from a
+    # few x to tens of x
+    cums = [t["e_cum"] for t in results.values()]
+    assert min(cums) < 6.0
+    assert max(cums) > 8.0

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every harness writes its rendered table to ``benchmarks/out/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from one
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist one rendered table and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Design-space exploration: re-run the paper's Section 3.7 sizing flow.
+
+Sweeps PCU stage count and register depth over the benchmark suite,
+printing the normalized-area-overhead curves of Figure 7 and the chip
+area each candidate architecture would occupy.
+
+Run:  python examples/design_space_explorer.py
+"""
+
+from dataclasses import replace
+
+from repro.arch.area import chip_area
+from repro.arch.params import DEFAULT
+from repro.eval import figure7
+
+
+def main():
+    print("=== Figure 7a: stages per PCU ===")
+    param, values = figure7.SWEEPS["a_stages"]
+    curves = figure7.sweep(param, values, scale="small")
+    print(figure7.render(param, curves))
+    best = figure7.best_value(curves)
+    print(f"\noverhead-minimising stage count: {best} "
+          f"(paper selects 6 as the balanced choice)")
+
+    print("\n=== Figure 7b: registers per FU ===")
+    param, values = figure7.SWEEPS["b_registers"]
+    curves = figure7.sweep(param, values, scale="small")
+    print(figure7.render(param, curves))
+
+    print("\n=== chip area at candidate stage counts ===")
+    for stages in (4, 6, 8, 12):
+        params = replace(DEFAULT, pcu=replace(DEFAULT.pcu,
+                                              stages=stages))
+        chip = chip_area(params)
+        print(f"  {stages:2d} stages/PCU -> {chip.total:7.2f} mm^2 "
+              f"({chip.pcus:6.2f} mm^2 of PCUs)")
+    print(f"\nselected architecture: {DEFAULT.pcu.stages} stages, "
+          f"{chip_area(DEFAULT).total:.1f} mm^2 "
+          f"(paper: 6 stages, 112.8 mm^2)")
+
+
+if __name__ == "__main__":
+    main()

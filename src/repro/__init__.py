@@ -1,0 +1,30 @@
+"""Plasticine reproduction: a parallel-pattern CGRA, compiler, and simulator.
+
+Reproduces *Plasticine: A Reconfigurable Architecture For Parallel Patterns*
+(Prabhakar et al., ISCA 2017).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Subpackages
+-----------
+``repro.patterns``
+    The programming model: Map / FlatMap / Fold / HashReduce over symbolic
+    collections, plus a numpy reference executor.
+``repro.dhdl``
+    The DHDL-style intermediate representation (controller hierarchies).
+``repro.arch``
+    Architecture parameters, area/power models, FPGA + ASIC baselines.
+``repro.dram``
+    DDR3 timing model (DRAMSim2 substitute).
+``repro.sim``
+    Cycle-level simulator of the Plasticine fabric.
+``repro.compiler``
+    Pattern -> DHDL -> placed-and-routed configuration pipeline.
+``repro.perf``
+    Analytical performance scaling to paper-sized datasets.
+``repro.apps``
+    The thirteen Table 4 benchmarks.
+``repro.eval``
+    Regeneration of every table and figure in the evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,17 @@
+"""The thirteen Table 4 benchmarks, in the pattern language."""
+
+from repro.apps.base import App, SCALES
+from repro.apps.dense_linalg import Gemm, InnerProduct, OuterProduct
+from repro.apps.ml import Cnn, Gda, Kmeans, LogReg, Sgd
+from repro.apps.registry import ALL_APPS, BY_NAME, get_app
+from repro.apps.sparse import Bfs, PageRank, Smdv
+from repro.apps.streaming import BlackScholes, TpchQ6
+
+__all__ = [
+    "App", "SCALES",
+    "Gemm", "InnerProduct", "OuterProduct",
+    "Cnn", "Gda", "Kmeans", "LogReg", "Sgd",
+    "ALL_APPS", "BY_NAME", "get_app",
+    "Bfs", "PageRank", "Smdv",
+    "BlackScholes", "TpchQ6",
+]

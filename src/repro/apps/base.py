@@ -1,0 +1,84 @@
+"""Common interface for the Table 4 benchmark applications.
+
+Each app builds a :class:`~repro.patterns.program.Program` at a given
+scale, can produce its expected outputs (by running the reference
+executor), and reports a paper-scale
+:class:`~repro.arch.workload.WorkloadProfile` for the Table 7 performance
+comparison.
+
+Scales:
+
+* ``tiny``  — unit-test sized; compiles and simulates in well under a
+  second.
+* ``small`` — benchmark sized; a few thousand to tens of thousands of
+  datapath operations.
+* ``paper`` — Table 4 sizes; used only analytically (profiles), never
+  simulated cycle-by-cycle.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.workload import WorkloadProfile
+from repro.patterns.executor import run_program
+from repro.patterns.program import Program
+
+SCALES = ("tiny", "small", "paper")
+
+
+class App:
+    """Base class for one benchmark."""
+
+    #: registry key, e.g. ``"gemm"``
+    name: str = "?"
+    #: Table 4 display name
+    display: str = "?"
+    #: True for the data-dependent (gather/scatter) benchmarks
+    sparse: bool = False
+    #: relative tolerance for float comparisons
+    rtol: float = 1e-4
+    atol: float = 1e-5
+
+    def build(self, scale: str = "small") -> Program:
+        """Construct the program (with input data) at a scale."""
+        raise NotImplementedError
+
+    def paper_profile(self) -> WorkloadProfile:
+        """Work/structure profile at the paper's Table 4 dataset size."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+    def expected(self, program: Program) -> Dict[str, np.ndarray]:
+        """Ground-truth outputs via the reference executor."""
+        env = run_program(program)
+        return {out.name: env.buffers[out.name].copy()
+                for out in program.outputs}
+
+    def check(self, program: Program, results: Dict[str, np.ndarray],
+              expected: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Assert simulated results match the reference executor."""
+        if expected is None:
+            expected = self.expected(program)
+        for name, want in expected.items():
+            got = np.asarray(results[name])
+            want = np.asarray(want)
+            if got.shape != want.shape:
+                got = got.reshape(-1)[:want.size].reshape(want.shape)
+            if want.dtype.kind == "f":
+                np.testing.assert_allclose(
+                    got, want, rtol=self.rtol, atol=self.atol,
+                    err_msg=f"{self.name}: output {name!r} mismatch")
+            else:
+                np.testing.assert_array_equal(
+                    got, want,
+                    err_msg=f"{self.name}: output {name!r} mismatch")
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """Deterministic per-app random source (stable across processes:
+        Python's ``hash`` is randomized, ``crc32`` is not)."""
+        seed = zlib.crc32(self.name.encode()) + salt
+        return np.random.default_rng(seed)

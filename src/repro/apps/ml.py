@@ -1,0 +1,311 @@
+"""Machine-learning benchmarks: GDA, LogReg, SGD, Kmeans, CNN.
+
+Table 4: GDA over 3.84 M 96-dim points; LogReg 5 iters x 1536 points x
+384 dims; SGD 30 iters x 38400 points x 768 dims; Kmeans 50 iters x 1536
+points x 96 dims, K=20; CNN with 884,736 weights over 57,600 inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.arch.workload import WorkloadProfile
+from repro.patterns import Fold, Program, maximum, relu, select, sigmoid
+from repro.patterns import expr as E
+
+_SIZES = {
+    # (points, dims)
+    "gda": {"tiny": (16, 4), "small": (96, 8),
+            "paper": (3_840_000, 96)},
+    # (iters, points, dims)
+    "logreg": {"tiny": (2, 16, 4), "small": (3, 64, 8),
+               "paper": (5, 1536, 384)},
+    # (iters, batch, dims)
+    "sgd": {"tiny": (2, 8, 4), "small": (4, 16, 8),
+            "paper": (30, 1280, 768)},
+    # (iters, points, dims, k)
+    "kmeans": {"tiny": (2, 16, 2, 2), "small": (3, 48, 4, 4),
+               "paper": (50, 1536, 96, 20)},
+    # (in_ch, out_ch, img, kernel)
+    "cnn": {"tiny": (2, 2, 6, 3), "small": (2, 4, 12, 3),
+            "paper": (96, 256, 27, 5)},
+}
+
+
+class Gda(App):
+    """Gaussian discriminant analysis: per-class scatter matrix.
+
+    The heavy kernel is the covariance update
+    ``sigma[j,k] = sum_i (x[i,j]-mu[j]) * (x[i,k]-mu[k])`` — a 2-d Map of
+    a Fold over points, preceded by a mean computation.
+    """
+
+    name = "gda"
+    display = "GDA"
+    rtol = 1e-3
+    atol = 1e-2
+
+    def build(self, scale: str = "small") -> Program:
+        n, d = _SIZES[self.name][scale]
+        rng = self.rng()
+        x_data = rng.standard_normal((n, d)).astype(np.float32)
+        p = Program(self.name)
+        x = p.input("x", (n, d), data=x_data)
+        mu = p.temp("mu", (d,))
+        sigma = p.output("sigma", (d, d))
+        p.map("mean", mu, d,
+              lambda j: Fold(n, 0.0, lambda i: x[i, j] * (1.0 / n),
+                             lambda a, b: a + b)).set_par(1, inner=16)
+        step = p.map("scatter_matrix", sigma, (d, d),
+                     lambda j, k: Fold(n, 0.0,
+                                       lambda i: (x[i, j] - mu[j])
+                                       * (x[i, k] - mu[k]),
+                                       lambda a, b: a + b))
+        step.set_par(1, 1, inner=16, outer=2 if scale != "tiny" else 1)
+        return p
+
+    def paper_profile(self) -> WorkloadProfile:
+        n, d = _SIZES[self.name]["paper"]
+        flops = 3.0 * n * d * d + 2.0 * n * d
+        return WorkloadProfile(
+            self.name, flops=flops, stream_bytes=4.0 * n * d * (d / 32),
+            inner_parallelism=16, outer_parallelism=16, pipeline_ops=3,
+            working_set_words=96 * 96 + 16 * 96,
+            # paper: like GEMM, BRAM-limited banking caps FPGA throughput
+            fpga_parallelism=110,
+            notes="compute bound; point tiles reused across (j,k) blocks")
+
+
+class LogReg(App):
+    """Batch-gradient logistic regression (sequential outer loop)."""
+
+    name = "logreg"
+    display = "LogReg"
+    rtol = 1e-3
+    atol = 1e-3
+
+    def build(self, scale: str = "small") -> Program:
+        iters, n, d = _SIZES[self.name][scale]
+        rng = self.rng()
+        x_data = rng.standard_normal((n, d)).astype(np.float32)
+        y_data = (rng.uniform(0, 1, n) > 0.5).astype(np.float32)
+        lr = 0.1
+        p = Program(self.name)
+        x = p.input("x", (n, d), data=x_data)
+        y = p.input("y", (n,), data=y_data)
+        w = p.output("w", (d,), max_elems=None)
+        w.set_data(np.zeros(d, dtype=np.float32))
+        s = p.temp("scores", (n,))
+        grad = p.temp("grad", (d,))
+        with p.loop("epochs", iters):
+            p.map("scores_step", s, n,
+                  lambda i: Fold(d, 0.0, lambda j: w[j] * x[i, j],
+                                 lambda a, b: a + b)).set_par(1, inner=16)
+            p.map("grad_step", grad, d,
+                  lambda j: Fold(n, 0.0,
+                                 lambda i: (sigmoid(s[i]) - y[i])
+                                 * x[i, j] * (1.0 / n),
+                                 lambda a, b: a + b)).set_par(1, inner=16)
+            p.map("update_w", w, d,
+                  lambda j: w[j] - lr * grad[j]).set_par(16)
+        return p
+
+    def paper_profile(self) -> WorkloadProfile:
+        iters, n, d = _SIZES[self.name]["paper"]
+        flops = iters * (4.0 * n * d + 2.0 * d)
+        return WorkloadProfile(
+            self.name, flops=flops,
+            stream_bytes=4.0 * iters * 2 * n * d,
+            inner_parallelism=16, outer_parallelism=8, pipeline_ops=4,
+            sequential_iters=iters,
+            working_set_words=n * d // 4,
+            # paper: Plasticine processes more tiles in parallel at a
+            # faster clock; the FPGA re-streams x per weight block
+            fpga_parallelism=24, fpga_traffic_factor=4.0,
+            fpga_overlap=0.0,
+            notes="tiled compute inside a sequential training loop")
+
+
+class Sgd(App):
+    """Minibatch stochastic gradient descent on a linear model.
+
+    Each sequential iteration takes one batch (offset by the loop index)
+    and updates the weights — the paper's example of an inherently
+    sequential outer pattern.
+    """
+
+    name = "sgd"
+    display = "SGD"
+    rtol = 1e-3
+    atol = 1e-3
+
+    def build(self, scale: str = "small") -> Program:
+        iters, batch, d = _SIZES[self.name][scale]
+        n = iters * batch
+        rng = self.rng()
+        x_data = rng.standard_normal((n, d)).astype(np.float32)
+        y_data = rng.standard_normal(n).astype(np.float32)
+        lr = 0.05
+        p = Program(self.name)
+        x = p.input("x", (n, d), data=x_data)
+        y = p.input("y", (n,), data=y_data)
+        w = p.output("w", (d,))
+        w.set_data(np.zeros(d, dtype=np.float32))
+        it = p.temp("it", (), E.INT32)
+        err = p.temp("err", (batch,))
+        grad = p.temp("grad", (d,))
+        with p.loop("steps", iters, index_cell=it):
+            p.map("residual", err, batch,
+                  lambda i: Fold(d, 0.0,
+                                 lambda j: w[j]
+                                 * x[it.scalar() * batch + i, j],
+                                 lambda a, b: a + b)).set_par(1, inner=16)
+            p.map("gradient", grad, d,
+                  lambda j: Fold(batch, 0.0,
+                                 lambda i: (err[i]
+                                            - y[it.scalar() * batch + i])
+                                 * x[it.scalar() * batch + i, j]
+                                 * (1.0 / batch),
+                                 lambda a, b: a + b)).set_par(1, inner=16)
+            p.map("take_step", w, d,
+                  lambda j: w[j] - lr * grad[j]).set_par(16)
+        return p
+
+    def paper_profile(self) -> WorkloadProfile:
+        iters, batch, d = _SIZES[self.name]["paper"]
+        flops = iters * (4.0 * batch * d + 2.0 * d)
+        return WorkloadProfile(
+            self.name, flops=flops,
+            stream_bytes=4.0 * iters * 2 * batch * d,
+            inner_parallelism=16, outer_parallelism=2, pipeline_ops=4,
+            sequential_iters=iters,
+            working_set_words=batch * d // 8,
+            # paper: the minibatch exposes little parallelism; the win
+            # is mostly Plasticine's clock
+            fpga_parallelism=20,
+            notes="small parallel work per inherently sequential step")
+
+
+class Kmeans(App):
+    """K-means clustering with a dense HashReduce for the centroids."""
+
+    name = "kmeans"
+    display = "Kmeans"
+    rtol = 1e-3
+    atol = 1e-3
+
+    def build(self, scale: str = "small") -> Program:
+        iters, n, d, k = _SIZES[self.name][scale]
+        rng = self.rng()
+        x_data = rng.standard_normal((n, d)).astype(np.float32)
+        c_init = x_data[:k].copy()
+        p = Program(self.name)
+        x = p.input("x", (n, d), data=x_data)
+        cents = p.output("centroids", (k, d))
+        cents.set_data(c_init)
+        dists = p.temp("dists", (n, k))
+        best = p.temp("best", (n,))
+        assign = p.temp("assign", (n,), E.INT32)
+        sums = p.temp("sums", (k * d,))
+        counts = p.temp("counts", (k,), E.INT32)
+        with p.loop("rounds", iters):
+            p.map("distances", dists, (n, k),
+                  lambda i, c: Fold(d, 0.0,
+                                    lambda j: (x[i, j] - cents[c, j])
+                                    * (x[i, j] - cents[c, j]),
+                                    lambda a, b: a + b)
+                  ).set_par(1, 1, inner=min(16, d))
+            p.map("assignment", (best, assign), n,
+                  lambda i: Fold(k, (1e30, 0),
+                                 lambda c: (dists[i, c], E.to_int(c)),
+                                 lambda a, b: (
+                                     select(b[0] < a[0], b[0], a[0]),
+                                     select(b[0] < a[0], b[1], a[1])))
+                  ).set_par(1, inner=min(16, k))
+            p.hash_reduce("accumulate", sums, (n, d), k * d,
+                          key=lambda i, j: assign[i] * d + j,
+                          value=lambda i, j: x[i, j],
+                          r=lambda a, b: a + b).set_par(1, min(16, d))
+            p.hash_reduce("population", counts, n, k,
+                          key=lambda i: assign[i],
+                          value=lambda i: 1,
+                          r=lambda a, b: a + b, init=0).set_par(16)
+            p.map("new_centroids", cents, (k, d),
+                  lambda c, j: sums[c * d + j]
+                  / maximum(E.to_float(counts[c]), 1.0)
+                  ).set_par(1, min(16, d))
+        return p
+
+    def paper_profile(self) -> WorkloadProfile:
+        iters, n, d, k = _SIZES[self.name]["paper"]
+        flops = iters * (3.0 * n * d * k + 2.0 * n * d)
+        return WorkloadProfile(
+            self.name, flops=flops, stream_bytes=4.0 * iters * n * d,
+            inner_parallelism=16, outer_parallelism=4, pipeline_ops=3,
+            sequential_iters=iters,
+            working_set_words=k * d * 2 + 4096,
+            # paper: "largely due to Plasticine's higher clock" -- both
+            # sides exploit the same limited parallelism
+            plasticine_parallelism=64, fpga_parallelism=64,
+            notes="sequential rounds; HashReduce centroids on chip")
+
+
+class Cnn(App):
+    """One convolution layer + ReLU with line-buffered sliding windows."""
+
+    name = "cnn"
+    display = "CNN"
+    rtol = 1e-3
+    atol = 1e-3
+
+    def build(self, scale: str = "small") -> Program:
+        in_ch, out_ch, img, ker = _SIZES[self.name][scale]
+        out_img = img - ker + 1
+        rng = self.rng()
+        img_data = rng.standard_normal((in_ch, img, img)).astype(
+            np.float32)
+        w_data = (rng.standard_normal((out_ch, in_ch, ker, ker))
+                  * 0.1).astype(np.float32)
+        p = Program(self.name)
+        image = p.input("image", (in_ch, img, img), data=img_data)
+        weights = p.input("weights", (out_ch, in_ch, ker, ker),
+                          data=w_data)
+        fmap = p.output("fmap", (out_ch, out_img, out_img))
+        step = p.map(
+            "conv", fmap, (out_ch, out_img, out_img),
+            lambda oc, oy, ox: Fold(
+                (in_ch, ker, ker), 0.0,
+                lambda ic, ky, kx: weights[oc, ic, ky, kx]
+                * image[ic, oy + ky, ox + kx],
+                lambda a, b: a + b))
+        step.set_par(1, 1, 1, inner=min(16, ker * ker))
+        relu_out = p.output("activated", (out_ch, out_img, out_img))
+        p.map("relu", relu_out, (out_ch, out_img, out_img),
+              lambda oc, oy, ox: relu(fmap[oc, oy, ox])).set_par(1, 1, 16)
+        # 2x2 max pooling over the activation (CNNs "involve multiple
+        # layers of computation"); odd edges are truncated
+        pool_img = out_img // 2
+        pooled = p.output("pooled", (out_ch, pool_img, pool_img))
+        p.map("maxpool", pooled, (out_ch, pool_img, pool_img),
+              lambda oc, py, px: Fold(
+                  (2, 2), -1e30,
+                  lambda wy, wx: relu_out[oc, py * 2 + wy, px * 2 + wx],
+                  lambda a, b: maximum(a, b))).set_par(1, 1, 8)
+        return p
+
+    def paper_profile(self) -> WorkloadProfile:
+        in_ch, out_ch, img, ker = _SIZES[self.name]["paper"]
+        out_img = img - ker + 1
+        flops = 2.0 * out_ch * out_img * out_img * in_ch * ker * ker
+        return WorkloadProfile(
+            self.name, flops=flops,
+            stream_bytes=4.0 * (in_ch * img * img * 4
+                                + out_ch * in_ch * ker * ker
+                                + out_ch * out_img * out_img),
+            inner_parallelism=16, outer_parallelism=32, pipeline_ops=2,
+            working_set_words=in_ch * img * ker + out_img * out_img,
+            # paper: the FPGA cannot bank enough sliding-window buffers
+            # to feed wide convolution arrays
+            fpga_parallelism=64, fpga_overlap=0.0,
+            notes="highest compute density; line buffers capture reuse")

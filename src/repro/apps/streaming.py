@@ -1,0 +1,148 @@
+"""Streaming benchmarks: Black-Scholes and TPC-H Query 6.
+
+Table 4: Black-Scholes over 96 M option entries; TPC-H Q6 over 960 M
+line items.  Black-Scholes is compute bound (a very deep per-element
+pipeline); Q6 is a pure filter-reduce stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.arch.workload import WorkloadProfile
+from repro.patterns import Program, exp, log, select, sqrt
+from repro.patterns import expr as E
+
+_SIZES = {
+    "blackscholes": {"tiny": 32, "small": 1024, "paper": 96_000_000},
+    "tpchq6": {"tiny": 64, "small": 4096, "paper": 960_000_000},
+}
+
+
+def _cnd(x):
+    """Cumulative normal distribution (Abramowitz-Stegun polynomial),
+    built from traced ops only."""
+    inv_sqrt2pi = 0.3989422804014327
+    a1, a2, a3, a4, a5 = (0.31938153, -0.356563782, 1.781477937,
+                          -1.821255978, 1.330274429)
+    absx = E.absolute(x)
+    k = 1.0 / (1.0 + 0.2316419 * absx)
+    poly = k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))))
+    pdf = inv_sqrt2pi * exp(-0.5 * absx * absx)
+    cnd_pos = 1.0 - pdf * poly
+    return select(x < 0.0, 1.0 - cnd_pos, cnd_pos)
+
+
+def _blackscholes_call(price, strike, t, rate, vol):
+    sqrt_t = sqrt(t)
+    d1 = (log(price / strike) + (rate + 0.5 * vol * vol) * t) / \
+        (vol * sqrt_t)
+    d2 = d1 - vol * sqrt_t
+    return price * _cnd(d1) - strike * exp(-rate * t) * _cnd(d2)
+
+
+def _cnd_np(x):
+    inv_sqrt2pi = 0.3989422804014327
+    a = (0.31938153, -0.356563782, 1.781477937, -1.821255978, 1.330274429)
+    absx = np.abs(x)
+    k = 1.0 / (1.0 + 0.2316419 * absx)
+    poly = k * (a[0] + k * (a[1] + k * (a[2] + k * (a[3] + k * a[4]))))
+    pdf = inv_sqrt2pi * np.exp(-0.5 * absx * absx)
+    cnd_pos = 1.0 - pdf * poly
+    return np.where(x < 0, 1.0 - cnd_pos, cnd_pos)
+
+
+class BlackScholes(App):
+    """European call option pricing: ~60-op pipeline per element."""
+
+    name = "blackscholes"
+    display = "Black-Scholes"
+    rtol = 1e-3
+    atol = 1e-3
+
+    def build(self, scale: str = "small") -> Program:
+        n = _SIZES[self.name][scale]
+        rng = self.rng()
+        price = (rng.uniform(10, 100, n)).astype(np.float32)
+        strike = (rng.uniform(10, 100, n)).astype(np.float32)
+        t = (rng.uniform(0.2, 2.0, n)).astype(np.float32)
+        rate, vol = 0.02, 0.30
+        p = Program(self.name)
+        s0 = p.input("price", (n,), data=price)
+        k0 = p.input("strike", (n,), data=strike)
+        t0 = p.input("time", (n,), data=t)
+        out = p.output("call", (n,))
+        p.map("price_options", out, n,
+              lambda i: _blackscholes_call(s0[i], k0[i], t0[i], rate,
+                                           vol)).set_par(
+                  16, outer=2 if scale != "tiny" else 1)
+        return p
+
+    def numpy_reference(self, price, strike, t, rate=0.02, vol=0.30):
+        """Closed-form numpy pricing (for doc/examples cross-checking)."""
+        sqrt_t = np.sqrt(t)
+        d1 = (np.log(price / strike) + (rate + 0.5 * vol ** 2) * t) / \
+            (vol * sqrt_t)
+        d2 = d1 - vol * sqrt_t
+        return price * _cnd_np(d1) - strike * np.exp(-rate * t) * \
+            _cnd_np(d2)
+
+    def paper_profile(self) -> WorkloadProfile:
+        n = _SIZES[self.name]["paper"]
+        ops_per_elem = 60
+        return WorkloadProfile(
+            self.name, flops=float(ops_per_elem) * n,
+            stream_bytes=4.0 * 4 * n,
+            inner_parallelism=16, outer_parallelism=42,
+            pipeline_ops=ops_per_elem,
+            working_set_words=4 * 4096,
+            # paper: the FPGA runs out of area for the ~60-op FP32
+            # pipeline (log/exp/div consume many DSPs + ALMs) long
+            # before it saturates DRAM
+            fpga_parallelism=200,
+            notes="deep pipeline; Plasticine turns it memory bound")
+
+
+class TpchQ6(App):
+    """TPC-H query 6: filter line items then sum discounted revenue."""
+
+    name = "tpchq6"
+    display = "TPC-H Query 6"
+    rtol = 1e-3
+    atol = 1e-2
+
+    def build(self, scale: str = "small") -> Program:
+        n = _SIZES[self.name][scale]
+        rng = self.rng()
+        dates = rng.integers(0, 1000, n).astype(np.int32)
+        quantities = rng.integers(1, 50, n).astype(np.int32)
+        prices = rng.uniform(100, 1000, n).astype(np.float32)
+        discounts = rng.uniform(0.0, 0.1, n).astype(np.float32)
+        p = Program(self.name)
+        date = p.input("shipdate", (n,), E.INT32, data=dates)
+        qty = p.input("quantity", (n,), E.INT32, data=quantities)
+        price = p.input("price", (n,), data=prices)
+        disc = p.input("discount", (n,), data=discounts)
+        revenue = p.output("revenue")
+
+        def item_revenue(i):
+            keep = ((date[i] >= 200) & (date[i] < 600)
+                    & (disc[i] >= 0.02) & (disc[i] <= 0.08)
+                    & (qty[i] < 24))
+            return select(keep, price[i] * disc[i], 0.0)
+
+        p.fold("query6", revenue, n, 0.0, item_revenue,
+               lambda x, y: x + y).set_par(
+                   16, outer=4 if scale != "tiny" else 1)
+        return p
+
+    def paper_profile(self) -> WorkloadProfile:
+        n = _SIZES[self.name]["paper"]
+        return WorkloadProfile(
+            self.name, flops=8.0 * n, stream_bytes=16.0 * n,
+            inner_parallelism=16, outer_parallelism=4, pipeline_ops=8,
+            working_set_words=4 * 4096,
+            fpga_overlap=1.0,  # streaming filter double-buffers cleanly
+            fpga_parallelism=256,  # cheap int compare/select logic
+            notes="memory-bandwidth bound filter-reduce")

@@ -1,0 +1,27 @@
+"""Architecture parameters, area/power models, and baselines."""
+
+from repro.arch.area import (ChipArea, chip_area, interconnect_area,
+                             memory_controller_area, pcu_area,
+                             pcu_breakdown, pmu_area, pmu_breakdown)
+from repro.arch.asic import asic_area, ladder, overhead_table
+from repro.arch.fpga import (DEFAULT_FPGA, FpgaParams, fpga_power_w,
+                             fpga_runtime_s)
+from repro.arch.params import (DEFAULT, DESIGN_SPACE, DramParams, PcuParams,
+                               PlasticineParams, PmuParams)
+from repro.arch.power import (UnitActivity, chip_power, max_chip_power,
+                              power_breakdown)
+from repro.arch.requirements import (DesignRequirements, VirtualPcuReq,
+                                     VirtualPmuReq)
+from repro.arch.workload import WorkloadProfile
+
+__all__ = [
+    "ChipArea", "chip_area", "interconnect_area", "memory_controller_area",
+    "pcu_area", "pcu_breakdown", "pmu_area", "pmu_breakdown",
+    "asic_area", "ladder", "overhead_table",
+    "DEFAULT_FPGA", "FpgaParams", "fpga_power_w", "fpga_runtime_s",
+    "DEFAULT", "DESIGN_SPACE", "DramParams", "PcuParams",
+    "PlasticineParams", "PmuParams",
+    "UnitActivity", "chip_power", "max_chip_power", "power_breakdown",
+    "DesignRequirements", "VirtualPcuReq", "VirtualPmuReq",
+    "WorkloadProfile",
+]

@@ -1,0 +1,160 @@
+"""Area model, calibrated against Table 5 of the paper (28 nm, mm^2).
+
+The paper obtains component areas from Synopsys DC synthesis; we encode its
+published per-component results and scale them parametrically for the
+design-space sweeps of Figure 7 and the homogenization study of Table 6.
+
+Calibration anchors (Table 5):
+
+==================  ======  =========================================
+component             mm^2  parametric form
+==================  ======  =========================================
+PCU FUs              0.622  ``FU_MM2 * lanes * stages``
+PCU registers        0.144  ``REG_MM2 * lanes * stages * regs``
+PCU FIFOs            0.082  ``VFIFO * vin * lanes/16 + SFIFO * sin``
+PCU control          0.001  constant
+PCU total            0.849
+PMU scratchpad       0.477  ``SRAM_MM2_PER_KB * banks * bank_kb``
+PMU FIFOs            0.024  ``PMU_VFIFO * vin * banks/16 + SFIFO * sin``
+PMU registers        0.023  ``PMU_REG_MM2 * stages * regs``
+PMU FUs              0.007  ``PMU_FU_MM2 * stages``
+PMU control          0.001  constant
+PMU total            0.532
+interconnect        18.796  ``SWITCH_MM2 * (cols+1)*(rows+1) * lanes/16``
+memory controller    5.616  ``AG_MM2 * num_ags + CU_MM2 * num_cus``
+chip total         112.796
+==================  ======  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.params import (DEFAULT, PcuParams, PlasticineParams,
+                               PmuParams)
+
+# -- calibrated coefficients (mm^2) -----------------------------------------
+FU_MM2 = 0.622 / (16 * 6)
+REG_MM2 = 0.144 / (16 * 6 * 6)
+VFIFO_MM2 = 0.025                 # one 16-lane vector input FIFO
+SFIFO_MM2 = (0.082 - 3 * 0.025) / 6   # one scalar input FIFO
+PCU_CONTROL_MM2 = 0.001
+
+SRAM_MM2_PER_KB = 0.477 / 256
+PMU_VFIFO_MM2 = 0.007             # shallower vector FIFOs than PCU
+PMU_SFIFO_MM2 = (0.024 - 3 * 0.007) / 4
+PMU_REG_MM2 = 0.023 / (4 * 6)
+PMU_FU_MM2 = 0.007 / 4            # scalar ALU stage
+PMU_CONTROL_MM2 = 0.001
+
+SWITCH_MM2 = 18.796 / (17 * 9)    # one switch site, all three networks
+AG_MM2 = 0.12
+CU_MM2 = (5.616 - 34 * AG_MM2) / 4
+
+
+def pcu_area(pcu: PcuParams) -> float:
+    """Area of one PCU in mm^2 for arbitrary Table 3 parameters."""
+    lane_scale = pcu.lanes / 16.0
+    return (PCU_CONTROL_MM2
+            + FU_MM2 * pcu.lanes * pcu.stages
+            + REG_MM2 * pcu.lanes * pcu.stages * pcu.regs_per_stage
+            + VFIFO_MM2 * pcu.vector_in * lane_scale
+            + SFIFO_MM2 * pcu.scalar_in)
+
+
+def pcu_breakdown(pcu: PcuParams) -> Dict[str, float]:
+    """Per-component PCU area, keyed like Table 5."""
+    lane_scale = pcu.lanes / 16.0
+    return {
+        "FUs": FU_MM2 * pcu.lanes * pcu.stages,
+        "Registers": REG_MM2 * pcu.lanes * pcu.stages * pcu.regs_per_stage,
+        "FIFOs": (VFIFO_MM2 * pcu.vector_in * lane_scale
+                  + SFIFO_MM2 * pcu.scalar_in),
+        "Control": PCU_CONTROL_MM2,
+    }
+
+
+def pmu_area(pmu: PmuParams) -> float:
+    """Area of one PMU in mm^2 for arbitrary Table 3 parameters."""
+    bank_scale = pmu.banks / 16.0
+    return (PMU_CONTROL_MM2
+            + SRAM_MM2_PER_KB * pmu.banks * pmu.bank_kb
+            + PMU_VFIFO_MM2 * pmu.vector_in * bank_scale
+            + PMU_SFIFO_MM2 * pmu.scalar_in
+            + PMU_REG_MM2 * pmu.stages * pmu.regs_per_stage
+            + PMU_FU_MM2 * pmu.stages)
+
+
+def pmu_breakdown(pmu: PmuParams) -> Dict[str, float]:
+    """Per-component PMU area, keyed like Table 5."""
+    bank_scale = pmu.banks / 16.0
+    return {
+        "Scratchpad": SRAM_MM2_PER_KB * pmu.banks * pmu.bank_kb,
+        "FIFOs": (PMU_VFIFO_MM2 * pmu.vector_in * bank_scale
+                  + PMU_SFIFO_MM2 * pmu.scalar_in),
+        "Registers": PMU_REG_MM2 * pmu.stages * pmu.regs_per_stage,
+        "FUs": PMU_FU_MM2 * pmu.stages,
+        "Control": PMU_CONTROL_MM2,
+    }
+
+
+def interconnect_area(params: PlasticineParams) -> float:
+    """Static interconnect area (all three networks)."""
+    switches = (params.grid_cols + 1) * (params.grid_rows + 1)
+    return SWITCH_MM2 * switches * (params.pcu.lanes / 16.0)
+
+
+def memory_controller_area(params: PlasticineParams) -> float:
+    """AGs plus coalescing units."""
+    return AG_MM2 * params.num_ags + CU_MM2 * params.num_coalescing_units
+
+
+@dataclass(frozen=True)
+class ChipArea:
+    """Chip-level area roll-up (regenerates Table 5)."""
+
+    pcu_each: float
+    pmu_each: float
+    num_pcus: int
+    num_pmus: int
+    interconnect: float
+    memory_controller: float
+
+    @property
+    def pcus(self) -> float:
+        """All-PCU area."""
+        return self.pcu_each * self.num_pcus
+
+    @property
+    def pmus(self) -> float:
+        """All-PMU area."""
+        return self.pmu_each * self.num_pmus
+
+    @property
+    def total(self) -> float:
+        """Chip total in mm^2."""
+        return (self.pcus + self.pmus + self.interconnect
+                + self.memory_controller)
+
+    def percentages(self) -> Dict[str, float]:
+        """Share of chip area per top-level component (Table 5 col 3)."""
+        total = self.total
+        return {
+            "PCU": 100.0 * self.pcus / total,
+            "PMU": 100.0 * self.pmus / total,
+            "Interconnect": 100.0 * self.interconnect / total,
+            "MemoryController": 100.0 * self.memory_controller / total,
+        }
+
+
+def chip_area(params: PlasticineParams = DEFAULT) -> ChipArea:
+    """Roll up chip area for an architecture instance."""
+    return ChipArea(
+        pcu_each=pcu_area(params.pcu),
+        pmu_each=pmu_area(params.pmu),
+        num_pcus=params.num_pcus,
+        num_pmus=params.num_pmus,
+        interconnect=interconnect_area(params),
+        memory_controller=memory_controller_area(params),
+    )

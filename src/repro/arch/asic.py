@@ -1,0 +1,139 @@
+"""ASIC-equivalent area estimation and the Table 6 homogenization ladder.
+
+Table 6 of the paper estimates the area cost of five successive
+generalization steps, starting from a benchmark-specific ASIC:
+
+a. reconfigurable but *heterogeneous* PCUs/PMUs (each unit exactly sized);
+b. homogeneous PMUs within the benchmark (all sized to the largest);
+c. homogeneous PCUs within the benchmark;
+d. PMUs generalized across applications (256 KB each);
+e. PCUs generalized across applications (final Table 3 parameters).
+
+We reproduce the ladder over the compiler's virtual-unit requirements.
+The ASIC baseline prices exactly the compute and memory a benchmark needs,
+with fixed-function datapaths (no configuration muxes/registers, cheaper
+FUs, exactly-sized SRAMs, hardwired memory controllers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.arch.area import (AG_MM2, CU_MM2, FU_MM2, REG_MM2, SFIFO_MM2,
+                             SRAM_MM2_PER_KB, VFIFO_MM2, pcu_area)
+from repro.arch.params import PcuParams, PmuParams, DEFAULT
+from repro.arch.requirements import (DesignRequirements, VirtualPcuReq,
+                                     VirtualPmuReq)
+
+#: fixed-function datapath cost relative to a reconfigurable FU
+ASIC_FU_FACTOR = 0.40
+#: exactly-sized SRAM macro cost relative to the configurable scratchpad
+ASIC_MEM_FACTOR = 0.72
+#: hardwired DMA engines vs configurable AGs + coalescers
+ASIC_MC_MM2 = 0.9
+#: reconfigurable memory controller (shared by all ladder steps)
+RECONF_MC_MM2 = 2.4
+
+
+def asic_area(reqs: DesignRequirements) -> float:
+    """Benchmark-specific chip area with fixed-function everything."""
+    compute = sum(
+        (FU_MM2 * ASIC_FU_FACTOR * r.stages * r.lanes_used
+         + REG_MM2 * r.stages * r.lanes_used * max(2, r.live_regs))
+        for r in (v.clamp() for v in reqs.pcus))
+    memory = sum(SRAM_MM2_PER_KB * ASIC_MEM_FACTOR * r.kb
+                 for r in reqs.pmus)
+    return compute + memory + ASIC_MC_MM2
+
+
+def _reconf_pcu_area(req: VirtualPcuReq) -> float:
+    """A reconfigurable PCU exactly shaped to one virtual requirement.
+
+    Heterogeneous units (Table 6 steps a/b) may take *any* shape — even a
+    single lane for sequential logic — so this bypasses the Table 3 range
+    validation and prices the requirement directly.
+    """
+    req = req.clamp()
+    lanes = req.lanes_used
+    stages = req.stages
+    regs = max(2, req.live_regs)
+    lane_scale = lanes / 16.0
+    return (0.001
+            + FU_MM2 * lanes * stages
+            + REG_MM2 * lanes * stages * regs
+            + VFIFO_MM2 * req.vector_in * lane_scale
+            + SFIFO_MM2 * req.scalar_in)
+
+
+def _reconf_pmu_area(kb: float, banks: int = 16) -> float:
+    """A reconfigurable PMU with a given scratchpad capacity."""
+    return (0.001
+            + SRAM_MM2_PER_KB * max(1.0, kb)
+            + 0.007 * 3 * (banks / 16.0)   # vector FIFOs
+            + 0.0007 * 4                    # scalar FIFOs
+            + 0.023 + 0.007)                # address datapath regs + ALUs
+
+
+def ladder(reqs: DesignRequirements,
+           final_pcu: PcuParams = DEFAULT.pcu,
+           final_pmu: PmuParams = DEFAULT.pmu) -> Dict[str, float]:
+    """Cumulative area of each Table 6 step, in mm^2.
+
+    Keys: ``asic``, ``a`` .. ``e``.  Steps c and e must account for
+    *splitting*: a virtual PCU needing more stages than the homogeneous
+    shape provides occupies multiple physical PCUs, and sequential
+    (1-lane) logic still occupies full 16-lane units.
+    """
+    areas = {"asic": asic_area(reqs)}
+
+    # a. heterogeneous reconfigurable units
+    areas["a"] = (sum(_reconf_pcu_area(r) for r in reqs.pcus)
+                  + sum(_reconf_pmu_area(r.kb, r.banks) for r in reqs.pmus)
+                  + RECONF_MC_MM2)
+
+    # b. homogeneous PMUs within the benchmark
+    pmu_kb = reqs.max_pmu_kb()
+    homo_pmu = len(reqs.pmus) * _reconf_pmu_area(pmu_kb)
+    areas["b"] = (sum(_reconf_pcu_area(r) for r in reqs.pcus)
+                  + homo_pmu + RECONF_MC_MM2)
+
+    # c. homogeneous PCUs within the benchmark (fixed 16 lanes; virtual
+    #    units split across as many physical units as their stages need)
+    max_req = reqs.max_pcu()
+    shape_stages = min(16, max_req.stages)
+    homo_shape = replace(max_req, lanes_used=16, stages=shape_stages)
+    per_pcu = _reconf_pcu_area(homo_shape)
+    pcu_count = sum(-(-r.clamp().stages // shape_stages) for r in reqs.pcus)
+    areas["c"] = pcu_count * per_pcu + homo_pmu + RECONF_MC_MM2
+
+    # d. PMUs generalized across applications
+    general_pmu = _reconf_pmu_area(final_pmu.scratch_kb, final_pmu.banks)
+    pmu_count = sum(max(1, -(-r.kb // final_pmu.scratch_kb))
+                    for r in reqs.pmus)
+    areas["d"] = (pcu_count * per_pcu + pmu_count * general_pmu
+                  + RECONF_MC_MM2)
+
+    # e. PCUs generalized across applications (final Table 3 shape)
+    final_area = pcu_area(final_pcu)
+    final_count = sum(-(-r.clamp().stages // final_pcu.stages)
+                      for r in reqs.pcus)
+    areas["e"] = (final_count * final_area + pmu_count * general_pmu
+                  + RECONF_MC_MM2)
+    return areas
+
+
+def overhead_table(reqs: DesignRequirements) -> Dict[str, float]:
+    """Successive and cumulative overheads as printed in Table 6.
+
+    Returns ``{step: successive_ratio, step_cum: cumulative_ratio}`` for
+    steps a-e, all relative to the ASIC baseline like the paper.
+    """
+    areas = ladder(reqs)
+    result = {}
+    prev = areas["asic"]
+    for step in ("a", "b", "c", "d", "e"):
+        result[step] = areas[step] / prev
+        result[f"{step}_cum"] = areas[step] / areas["asic"]
+        prev = areas[step]
+    return result

@@ -1,0 +1,92 @@
+"""Power model, calibrated to the paper's reported numbers.
+
+The paper profiles single-unit power with PrimeTime on RTL traces and
+reports (a) a 49 W maximum chip power at 1 GHz and (b) per-benchmark
+totals between 10.7 W and 42.6 W (Table 7) where *unused units are clock
+gated* and contribute only static power.
+
+We model::
+
+    P = P_static + sum_over_unit_types(active_count * P_unit * activity)
+
+with per-unit dynamic powers calibrated so a fully active chip draws
+~49 W.  ``activity`` in [0, 1] is the fraction of cycles a unit does work,
+taken from simulator statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.params import DEFAULT, PlasticineParams
+
+#: Static (leakage + clock-tree) power for the whole 113 mm^2 chip, W.
+STATIC_W = 4.4
+
+#: Dynamic power of one fully active unit at 1 GHz, W.
+PCU_W = 0.37
+PMU_W = 0.24
+AG_W = 0.055
+COALESCER_W = 0.26
+#: per active switch site (averaged over the three networks)
+SWITCH_W = 0.018
+
+
+def max_chip_power(params: PlasticineParams = DEFAULT) -> float:
+    """Worst-case power: everything switching every cycle (~49 W)."""
+    switches = (params.grid_cols + 1) * (params.grid_rows + 1)
+    return (STATIC_W
+            + params.num_pcus * PCU_W
+            + params.num_pmus * PMU_W
+            + params.num_ags * AG_W
+            + params.num_coalescing_units * COALESCER_W
+            + switches * SWITCH_W) * params.clock_ghz
+
+
+@dataclass(frozen=True)
+class UnitActivity:
+    """Per-unit-type activity summary from a simulation or estimate.
+
+    ``*_used`` is the number of powered (configured) units; ``*_activity``
+    is their average busy fraction.  Unused units are clock gated.
+    """
+
+    pcus_used: int = 0
+    pcu_activity: float = 0.0
+    pmus_used: int = 0
+    pmu_activity: float = 0.0
+    ags_used: int = 0
+    ag_activity: float = 0.0
+    coalescers_used: int = 0
+    coalescer_activity: float = 0.0
+    switches_used: int = 0
+    switch_activity: float = 0.0
+
+
+def chip_power(activity: UnitActivity,
+               params: PlasticineParams = DEFAULT) -> float:
+    """Chip power in W for a given activity profile."""
+    dynamic = (activity.pcus_used * PCU_W * activity.pcu_activity
+               + activity.pmus_used * PMU_W * activity.pmu_activity
+               + activity.ags_used * AG_W * activity.ag_activity
+               + (activity.coalescers_used * COALESCER_W
+                  * activity.coalescer_activity)
+               + (activity.switches_used * SWITCH_W
+                  * activity.switch_activity))
+    return (STATIC_W + dynamic) * params.clock_ghz
+
+
+def power_breakdown(activity: UnitActivity,
+                    params: PlasticineParams = DEFAULT) -> Dict[str, float]:
+    """Per-component power contributions in W."""
+    return {
+        "static": STATIC_W,
+        "pcu": activity.pcus_used * PCU_W * activity.pcu_activity,
+        "pmu": activity.pmus_used * PMU_W * activity.pmu_activity,
+        "ag": activity.ags_used * AG_W * activity.ag_activity,
+        "coalescer": (activity.coalescers_used * COALESCER_W
+                      * activity.coalescer_activity),
+        "switch": (activity.switches_used * SWITCH_W
+                   * activity.switch_activity),
+    }

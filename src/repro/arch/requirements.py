@@ -1,0 +1,76 @@
+"""Virtual-unit requirement summaries.
+
+The compiler's virtual allocation reduces an application to a list of
+*virtual unit requirements*: the stages, registers, IO and lanes each
+virtual PCU actually needs, and the capacity each virtual PMU actually
+needs.  The Table 6 homogenization study and the Figure 7 sizing sweeps
+are computed over these summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class VirtualPcuReq:
+    """What one virtual PCU needs from the hardware."""
+
+    stages: int
+    live_regs: int = 2          # max live values per lane at any stage
+    scalar_in: int = 1
+    scalar_out: int = 1
+    vector_in: int = 1
+    vector_out: int = 1
+    lanes_used: int = 16        # SIMD width actually exercised
+
+    def clamp(self) -> "VirtualPcuReq":
+        """Normalize degenerate requirements to hardware minimums."""
+        return VirtualPcuReq(
+            stages=max(1, self.stages),
+            live_regs=max(2, self.live_regs),
+            scalar_in=max(1, self.scalar_in),
+            scalar_out=max(1, self.scalar_out),
+            vector_in=max(1, self.vector_in),
+            vector_out=max(1, self.vector_out),
+            lanes_used=max(1, self.lanes_used),
+        )
+
+
+@dataclass(frozen=True)
+class VirtualPmuReq:
+    """What one virtual PMU (logical scratchpad) needs."""
+
+    kb: float                   # capacity including N-buffering
+    banks: int = 16             # parallel access streams needed
+    scalar_in: int = 2
+    vector_in: int = 1
+    vector_out: int = 1
+
+
+@dataclass
+class DesignRequirements:
+    """All virtual units of one application, pre-partitioning."""
+
+    name: str
+    pcus: List[VirtualPcuReq] = field(default_factory=list)
+    pmus: List[VirtualPmuReq] = field(default_factory=list)
+
+    def max_pcu(self) -> VirtualPcuReq:
+        """Element-wise maximum PCU requirement (homogenization target)."""
+        if not self.pcus:
+            return VirtualPcuReq(stages=1).clamp()
+        return VirtualPcuReq(
+            stages=max(r.stages for r in self.pcus),
+            live_regs=max(r.live_regs for r in self.pcus),
+            scalar_in=max(r.scalar_in for r in self.pcus),
+            scalar_out=max(r.scalar_out for r in self.pcus),
+            vector_in=max(r.vector_in for r in self.pcus),
+            vector_out=max(r.vector_out for r in self.pcus),
+            lanes_used=max(r.lanes_used for r in self.pcus),
+        ).clamp()
+
+    def max_pmu_kb(self) -> float:
+        """Largest scratchpad requirement (homogenization target)."""
+        return max((r.kb for r in self.pmus), default=1.0)

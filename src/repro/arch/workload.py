@@ -1,0 +1,70 @@
+"""Workload profiles: the architecture-independent facts about one
+benchmark execution that the FPGA and Plasticine performance models
+consume.
+
+A profile counts work (flops, bytes, random accesses) and records the
+exploitable structure (inner parallelism, pipeline depth, sequential
+iterations).  Profiles are produced either analytically by the app
+definitions (paper-scale datasets) or measured by the compiler/simulator
+(scaled datasets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class WorkloadProfile:
+    """Work and structure summary of one benchmark run."""
+
+    name: str
+    #: total scalar compute operations (FLOPs for float apps, int ops else)
+    flops: float = 0.0
+    #: dense DRAM traffic in bytes (tile loads + stores, streaming)
+    stream_bytes: float = 0.0
+    #: random (gather/scatter) DRAM accesses, each one 4-byte word
+    random_accesses: float = 0.0
+    #: exploitable inner-loop (SIMD) parallelism per sequential step
+    inner_parallelism: int = 16
+    #: exploitable outer parallelism (independent tiles / units)
+    outer_parallelism: int = 1
+    #: compute pipeline depth in ops per element (deep for BlackScholes)
+    pipeline_ops: int = 1
+    #: inherently sequential outer iterations (loop-carried dependence)
+    sequential_iters: int = 1
+    #: on-chip working set in 4-byte words (tile residency)
+    working_set_words: float = 0.0
+    #: fraction of compute that is floating point (vs int/control)
+    fp_fraction: float = 1.0
+    #: free-form notes carried into reports
+    notes: str = ""
+    # -- per-benchmark modelling hints, justified by the paper's own
+    # -- analysis of each benchmark (Section 4.5) -------------------------
+    #: FPGA-exploitable FLOPs/cycle when BRAM banking/ports cap it below
+    #: the resource-derived value (None = derive from resources)
+    fpga_parallelism: Optional[float] = None
+    #: DRAM traffic amplification on the FPGA from undersized tiles
+    fpga_traffic_factor: float = 1.0
+    #: fraction of FPGA memory time hidden under compute (limited
+    #: double-buffering ability vs Plasticine's N-buffered scratchpads)
+    fpga_overlap: float = 0.5
+    #: Plasticine-exploitable FLOPs/cycle override (None = inner x
+    #: pipeline x outer)
+    plasticine_parallelism: Optional[float] = None
+    #: useful words per coalesced burst for this workload's access
+    #: locality (None = model default)
+    plasticine_coalesce_words: Optional[float] = None
+
+    @property
+    def total_bytes(self) -> float:
+        """All DRAM traffic in bytes, counting each random access as one
+        4-byte word (the useful payload)."""
+        return self.stream_bytes + 4.0 * self.random_accesses
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte (roofline x-axis)."""
+        bytes_total = self.total_bytes
+        return self.flops / bytes_total if bytes_total else float("inf")

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Chip summary: parameters, area breakdown, peak numbers.
+``list``
+    The Table 4 benchmark registry.
+``run APP [--scale SCALE] [--floorplan] [--ir]``
+    Compile, cycle-simulate and validate one benchmark.
+``table5 | table6 | table7``
+    Regenerate a paper table.
+``figure7 PARAM``
+    Run one Figure 7 sweep (stages, regs_per_stage, scalar_in,
+    scalar_out, vector_in, vector_out).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_info(args) -> int:
+    from repro.arch.params import DEFAULT
+    from repro.arch.power import max_chip_power
+    from repro.eval import table5
+    print(table5.render(table5.generate()))
+    print(f"\ngrid: {DEFAULT.grid_cols}x{DEFAULT.grid_rows} "
+          f"({DEFAULT.num_pcus} PCUs + {DEFAULT.num_pmus} PMUs), "
+          f"{DEFAULT.num_ags} AGs, "
+          f"{DEFAULT.num_coalescing_units} coalescing units")
+    print(f"peak: {DEFAULT.peak_tflops:.1f} TFLOPS, "
+          f"{DEFAULT.onchip_mb:.0f} MB on chip, "
+          f"{DEFAULT.dram.peak_gbps:.1f} GB/s DRAM, "
+          f"{max_chip_power():.1f} W max")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.apps import ALL_APPS
+    for app in ALL_APPS:
+        kind = "sparse" if app.sparse else "dense"
+        print(f"{app.name:14s} {kind:7s} {app.display}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import numpy as np
+    from repro.apps import get_app
+    from repro.compiler import compile_program
+    from repro.dhdl import format_program
+    from repro.sim import Machine
+
+    app = get_app(args.app)
+    program = app.build(args.scale)
+    expected = app.expected(program)
+    started = time.time()
+    compiled = compile_program(program)
+    compile_s = time.time() - started
+    if args.ir:
+        print(format_program(compiled.dhdl))
+        print()
+    started = time.time()
+    machine = Machine(compiled.dhdl, compiled.config)
+    stats = machine.run()
+    sim_s = time.time() - started
+    results = {name: machine.result(name) for name in expected}
+    app.check(program, results, expected)
+    util = compiled.config.utilization()
+    print(f"{app.display} ({args.scale}): VALIDATED against the "
+          f"reference executor")
+    print(f"  cycles: {stats.cycles}  "
+          f"(compile {compile_s * 1e3:.0f} ms, "
+          f"simulate {sim_s * 1e3:.0f} ms)")
+    print(f"  fabric: {compiled.config.pcus_used} PCUs "
+          f"({100 * util['pcu']:.1f}%), "
+          f"{compiled.config.pmus_used} PMUs "
+          f"({100 * util['pmu']:.1f}%), "
+          f"{compiled.config.ags_used} AGs")
+    dram = stats.dram
+    print(f"  DRAM: {dram['reads']} read / {dram['writes']} write "
+          f"bursts, {dram['row_hits']} row hits, "
+          f"{dram['bytes'] / max(1, stats.cycles):.1f} B/cycle")
+    print(f"  datapath: {stats.ops_executed} ops, "
+          f"{stats.conflict_cycles} bank-conflict stalls, "
+          f"{stats.fifo_stall_cycles} FIFO stalls")
+    if args.floorplan:
+        print()
+        print(render_floorplan(compiled))
+    return 0
+
+
+def render_floorplan(compiled) -> str:
+    """ASCII floorplan: which unit each grid site hosts."""
+    from repro.compiler.place_route import Fabric
+    fabric: Fabric = compiled.fabric
+    params = fabric.params
+    owner = {}
+    for name, sites in fabric.placed.items():
+        for site in sites:
+            owner[site] = name
+    labels = {}
+    legend = []
+    for k, name in enumerate(sorted({n for n in fabric.placed})):
+        tag = chr(ord("A") + k % 26)
+        labels[name] = tag
+        legend.append(f"  {tag} = {name}")
+    lines = ["floorplan (PCU sites '.', PMU sites ',', placed units "
+             "lettered):"]
+    pcu_sites = set(fabric.free_pcus)
+    for row in range(params.grid_rows):
+        cells = []
+        for col in range(params.grid_cols):
+            site = (col, row)
+            if site in owner:
+                cells.append(labels[owner[site]])
+            elif site in pcu_sites:
+                cells.append(".")
+            else:
+                cells.append(",")
+        lines.append(" ".join(cells))
+    return "\n".join(lines + legend)
+
+
+def _cmd_table(args) -> int:
+    from repro.eval import table5, table6, table7
+    if args.command == "table5":
+        print(table5.render(table5.generate()))
+    elif args.command == "table6":
+        print(table6.render(table6.generate(scale=args.scale)))
+    else:
+        rows = table7.generate(scale=args.scale, validate=False)
+        print(table7.render(rows))
+    return 0
+
+
+def _cmd_figure7(args) -> int:
+    from repro.eval import figure7
+    for key, (param, values) in figure7.SWEEPS.items():
+        if param == args.param:
+            curves = figure7.sweep(param, values, scale=args.scale)
+            print(figure7.render(param, curves))
+            print(f"\noverhead-minimising value: "
+                  f"{figure7.best_value(curves)}")
+            return 0
+    print(f"unknown parameter {args.param!r}; one of: "
+          f"{[p for p, _ in figure7.SWEEPS.values()]}",
+          file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plasticine (ISCA 2017) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="chip summary")
+    sub.add_parser("list", help="benchmark registry")
+    run = sub.add_parser("run", help="compile+simulate one benchmark")
+    run.add_argument("app")
+    run.add_argument("--scale", default="small",
+                     choices=("tiny", "small"))
+    run.add_argument("--floorplan", action="store_true")
+    run.add_argument("--ir", action="store_true")
+    for name in ("table5", "table6", "table7"):
+        t = sub.add_parser(name, help=f"regenerate {name}")
+        t.add_argument("--scale", default="small",
+                       choices=("tiny", "small"))
+    fig = sub.add_parser("figure7", help="run one Figure 7 sweep")
+    fig.add_argument("param")
+    fig.add_argument("--scale", default="small",
+                     choices=("tiny", "small"))
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command in ("table5", "table6", "table7"):
+        return _cmd_table(args)
+    if args.command == "figure7":
+        return _cmd_figure7(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The Plasticine compiler: patterns -> DHDL -> placed configuration."""
+
+from repro.compiler.driver import CompiledApp, compile_program
+from repro.compiler.lowering import Lowerer, lower
+from repro.compiler.partition import (PcuPartition, PmuPartition, chip_fits,
+                                      feasible, partition_pcu,
+                                      partition_pmu)
+from repro.compiler.place_route import Fabric, Net
+from repro.compiler.rewrite import rewrite, substitute
+from repro.compiler.scheduling import StageSchedule, schedule
+
+__all__ = [
+    "CompiledApp", "compile_program",
+    "Lowerer", "lower",
+    "PcuPartition", "PmuPartition", "chip_fits", "feasible",
+    "partition_pcu", "partition_pmu",
+    "Fabric", "Net",
+    "rewrite", "substitute",
+    "StageSchedule", "schedule",
+]

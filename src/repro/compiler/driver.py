@@ -1,0 +1,207 @@
+"""The compilation driver: pattern program -> placed configuration.
+
+``compile_program`` runs the whole Section 3.6 pipeline:
+
+1. lower patterns to DHDL (tiling, memory planning, control hierarchy);
+2. schedule each inner controller into virtual stages;
+3. partition virtual units into physical PCU chains (cost metric);
+4. place units on the checkerboard and route producer->consumer nets;
+5. allocate address generators to transfers;
+6. emit the :class:`~repro.sim.config.FabricConfig` ("bitstream") plus
+   the design's virtual requirements (for Table 6 / Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.arch.requirements import DesignRequirements
+from repro.compiler.lowering import Lowerer
+from repro.compiler.partition import (chip_fits, feasible, partition_pcu,
+                                      partition_pmu, pcu_requirement,
+                                      pmu_requirement)
+from repro.compiler.place_route import Fabric
+from repro.compiler.scheduling import schedule
+from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
+                           OuterController, Scatter, StreamStore, TileLoad,
+                           TileStore)
+from repro.errors import MappingError
+from repro.patterns.program import Program
+from repro.sim.config import (AgAssignment, FabricConfig, LeafTiming,
+                              MemoryPlacement)
+from repro.sim.machine import _mem_reads, _mem_writes
+
+
+@dataclass
+class CompiledApp:
+    """Everything produced by one compilation."""
+
+    program: Program
+    dhdl: DhdlProgram
+    config: FabricConfig
+    requirements: DesignRequirements
+    fabric: Fabric
+
+    @property
+    def name(self) -> str:
+        """Application name."""
+        return self.program.name
+
+
+def compile_program(program: Program,
+                    params: PlasticineParams = DEFAULT,
+                    tile_words: int = 512,
+                    whole_budget: int = 16384,
+                    ags_per_transfer: int = 2,
+                    pmu_fraction: float = 0.5) -> CompiledApp:
+    """Compile a pattern program onto the given architecture.
+
+    ``pmu_fraction`` changes the fabric's PMU:PCU mix (Section 3.7's
+    ratio study); 0.5 is the paper's 1:1 checkerboard.
+    """
+    dhdl = Lowerer(program, tile_words=tile_words,
+                   whole_budget=whole_budget).lower()
+    config = FabricConfig(params=params)
+    requirements = DesignRequirements(program.name)
+    fabric = Fabric(params, pmu_fraction=pmu_fraction)
+
+    inner_leaves = [l for l in dhdl.leaves()
+                    if isinstance(l, InnerCompute)]
+    transfer_leaves = [l for l in dhdl.leaves()
+                       if not isinstance(l, InnerCompute)]
+
+    # 1. schedule + partition + place every inner controller
+    fus_used = 0
+    regs_used = 0
+    for leaf in inner_leaves:
+        if leaf.address_class:
+            # bookkeeping bodies run on PMU address datapaths / switch
+            # control logic: no PCU cost, short fixed pipeline
+            config.leaf_timing[leaf.name] = LeafTiming(
+                pipeline_depth=2, lanes=min(leaf.chain.inner_par,
+                                            params.pcu.lanes),
+                num_pcus=0)
+            continue
+        sched = schedule(leaf)
+        if not feasible(sched, params.pcu):
+            raise MappingError(
+                f"inner controller {leaf.name!r} cannot be mapped with "
+                f"PCU shape {params.pcu}")
+        part = partition_pcu(sched, params.pcu)
+        lanes = min(leaf.chain.inner_par, params.pcu.lanes)
+        sites = fabric.place_pcus(leaf.name, part.num_pcus)
+        config.leaf_timing[leaf.name] = LeafTiming(
+            pipeline_depth=part.pipeline_depth,
+            lanes=lanes,
+            input_hops=1,
+            output_hops=1,
+            num_pcus=part.num_pcus,
+        )
+        requirements.pcus.append(pcu_requirement(sched, lanes,
+                                                 params.pcu))
+        fus_used += min(part.num_pcus * params.pcu.stages,
+                        sched.num_stages) * lanes
+        regs_used += sched.max_live * lanes * part.num_pcus
+
+    # 2. place scratchpads near their consumers
+    for sram in dhdl.srams:
+        part = partition_pmu(sram.words(), sram.nbuf, params.pmu.banks,
+                             params.pmu)
+        near = None
+        for leaf in inner_leaves:
+            mems = [m.name for m in leaf.memories_read()]
+            if sram.name in mems:
+                near = fabric.centroid(leaf.name)
+                break
+        sites = fabric.place_pmus(sram.name, part.num_pmus, near=near)
+        config.sram_place[sram.name] = MemoryPlacement(tuple(sites))
+        requirements.pmus.append(pmu_requirement(
+            sram.words(), sram.nbuf, params.pmu.banks))
+
+    pcu_budget = (params.num_units - int(params.num_units
+                                         * pmu_fraction))
+    chip_fits(fabric.pcus_used(), fabric.pmus_used(),
+              pcu_budget, params.num_units - pcu_budget)
+
+    # 3. route producer->consumer nets (vector network) and refine the
+    # leaf timings with real hop distances
+    _route_dataflow(dhdl, fabric, config)
+
+    # 4. allocate AGs round-robin with the requested width per transfer
+    next_ag = 0
+    for leaf in transfer_leaves:
+        streams = _streams_for(leaf, ags_per_transfer)
+        ids = []
+        for _ in range(streams):
+            if next_ag >= params.num_ags:
+                next_ag = 0  # AGs are time-shared beyond the physical set
+            ids.append(next_ag)
+            next_ag += 1
+        config.ag_assign[leaf.name] = AgAssignment(tuple(ids))
+
+    config.pcus_used = fabric.pcus_used()
+    config.pmus_used = fabric.pmus_used()
+    config.ags_used = min(params.num_ags,
+                          sum(len(a.ag_ids)
+                              for a in config.ag_assign.values()))
+    config.switches_used = max(fabric.switches_used(),
+                               config.pcus_used)
+    config.fus_used = fus_used
+    config.registers_used = regs_used
+    config.requirements = requirements
+
+    return CompiledApp(program=program, dhdl=dhdl, config=config,
+                       requirements=requirements, fabric=fabric)
+
+
+def _streams_for(leaf, default: int) -> int:
+    if isinstance(leaf, (Gather, Scatter)):
+        return max(default, leaf.par, 4)
+    if isinstance(leaf, (TileLoad, TileStore)):
+        return max(default, getattr(leaf, "par", 1))
+    return default
+
+
+def _route_dataflow(dhdl: DhdlProgram, fabric: Fabric,
+                    config: FabricConfig) -> None:
+    """Route every on-chip producer->consumer pair that is placed.
+
+    Scratchpad traffic rides the vector network; register (scalar)
+    traffic rides the scalar network between the producing and consuming
+    units.  Both share the switch topology (Section 3.3).
+    """
+    from repro.dhdl.memory import Reg as _Reg
+
+    reg_names = {r.name for r in dhdl.regs}
+    reg_producer: Dict[str, str] = {}
+    for leaf in dhdl.leaves():
+        if isinstance(leaf, InnerCompute) and leaf.address_class:
+            continue
+        for name in _mem_writes(leaf):
+            if name in reg_names and leaf.name in fabric.placed:
+                reg_producer.setdefault(name, leaf.name)
+
+    for leaf in dhdl.leaves():
+        if not isinstance(leaf, InnerCompute) or leaf.address_class:
+            continue
+        hops_in = []
+        for mem_name in {m.name for m in leaf.memories_read()}:
+            if mem_name in fabric.placed:
+                net = fabric.route(mem_name, leaf.name, "vector")
+                hops_in.append(net.hops)
+            elif mem_name in reg_producer and                     reg_producer[mem_name] != leaf.name:
+                fabric.route(reg_producer[mem_name], leaf.name,
+                             "scalar")
+        hops_out = []
+        for name in _mem_writes(leaf):
+            if name in fabric.placed:
+                net = fabric.route(leaf.name, name, "vector")
+                hops_out.append(net.hops)
+        timing = config.leaf_timing[leaf.name]
+        if hops_in:
+            timing.input_hops = max(hops_in)
+        if hops_out:
+            timing.output_hops = max(hops_out)
+        timing.pipeline_depth += timing.input_hops

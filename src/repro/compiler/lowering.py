@@ -1,0 +1,1055 @@
+"""Pattern-to-DHDL lowering (the front half of Section 3.6).
+
+Each program step becomes a controller subtree::
+
+    step scope (coarse-grained pipeline, one activation)
+      [whole-array tile loads]           -- small / irregular inputs
+      [accumulator / count initialisers]
+      tile loop (pipeline over tile origins, double-buffered tiles)
+        [per-tile loads]                 -- translation-affine inputs
+        [gather address compute + Gather]-- data-dependent reads
+        main inner compute               -- the pattern body
+        [per-tile output stores]
+      [final stores]                     -- reductions, hash bins
+
+Supported input strategies per collection:
+
+* **CELL** — 0-d collections live in registers (results, lengths).
+* **WHOLE** — the collection fits the whole-array budget; loaded once per
+  step activation and indexed with the original expressions.
+* **TILED** — every access dimension is affine in the chain indices with
+  non-negative coefficients; the touched region per tile is loaded and
+  indices are translated to tile-local form.  Data-dependent segment
+  bases (CSR rows) are supported when the range's lower bound is
+  monotone in the tiled index.
+* **GATHER** — the address itself is loaded data: an address-compute
+  controller materialises addresses, a Gather transfers the words, and
+  the access is rewritten to the gathered tile (duplication banking).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.rewrite import rewrite, simplify, substitute
+from repro.dhdl.control import Scheme
+from repro.dhdl.ir import (Counter, CounterChain, DhdlProgram, EmitStmt,
+                           Gather, HashReduceStmt, InnerCompute,
+                           OuterController, ReduceStmt, Scatter,
+                           StreamStore, TileLoad, TileStore, WriteStmt)
+from repro.dhdl.memory import BankingMode, Reg, Sram
+from repro.dhdl.validate import validate
+from repro.errors import LoweringError
+from repro.patterns import expr as E
+from repro.patterns.analysis import as_affine, classify_load
+from repro.patterns.collections import Array
+from repro.patterns.domain import DynDim, RangeDim, StaticDim
+from repro.patterns.patterns import (FlatMap, Fold, HashReduce, Map,
+                                     ScatterMap)
+from repro.patterns.program import Loop, Program, Step
+
+#: default words per tiled dimension (innermost tile extent)
+DEFAULT_TILE = 512
+#: collections up to this many words may be loaded whole
+WHOLE_BUDGET = 16384
+#: words fetched per data-dependent segment (CSR row tiles)
+SEG_BUDGET = 2048
+
+
+class _DimInfo:
+    """Per-chain-dimension lowering info."""
+
+    def __init__(self, idx: E.Idx, kind: str, extent: Optional[int],
+                 tile: Optional[int], origin: Optional[E.Expr],
+                 base_expr: Optional[E.Expr]):
+        self.idx = idx
+        self.kind = kind          # "tiled" | "full" | "dyn" | "range"
+        self.extent = extent      # static extent when known
+        self.tile = tile          # tile extent (static dims)
+        self.origin = origin      # tile origin expression
+        self.base_expr = base_expr  # local base (origin / range lo)
+
+
+class _ArrayPlan:
+    """How one input collection is made available on chip."""
+
+    def __init__(self, kind: str, sram: Optional[Sram] = None,
+                 reg: Optional[Reg] = None,
+                 offsets: Sequence[E.Expr] = (),
+                 extents: Sequence[int] = (),
+                 serve_gathers: bool = False):
+        self.kind = kind          # "cell" | "whole" | "tiled"
+        self.sram = sram
+        self.reg = reg
+        self.offsets = tuple(offsets)
+        self.extents = tuple(extents)
+        #: whole-resident copies of on-chip collections also serve random
+        #: reads (duplication banking); off-chip collections never do
+        self.serve_gathers = serve_gathers
+
+
+class Lowerer:
+    """Lowers one :class:`~repro.patterns.program.Program` to DHDL."""
+
+    def __init__(self, program: Program, tile_words: int = DEFAULT_TILE,
+                 whole_budget: int = WHOLE_BUDGET,
+                 seg_budget: int = SEG_BUDGET):
+        self.program = program
+        self.tile_words = tile_words
+        self.whole_budget = whole_budget
+        self.seg_budget = seg_budget
+        self.dhdl = DhdlProgram(program.name)
+        self._cell_regs: Dict[str, Reg] = {}
+
+    # ------------------------------------------------------------------ API --
+    def lower(self) -> DhdlProgram:
+        """Lower the whole program and validate the result."""
+        from repro.compiler.buffering import infer_buffer_depths
+        self._lower_body(self.program.body, self.dhdl.root)
+        infer_buffer_depths(self.dhdl)
+        validate(self.dhdl)
+        return self.dhdl
+
+    # -------------------------------------------------------------- helpers --
+    def _cell_reg(self, array: Array) -> Reg:
+        """The register mirroring a 0-d DRAM cell."""
+        reg = self._cell_regs.get(array.name)
+        if reg is None:
+            init = array.data[()].item() if array.data is not None else 0
+            reg = self.dhdl.reg(f"{array.name}_reg", array.dtype,
+                                init=init)
+            self._cell_regs[array.name] = reg
+            self.dhdl.dram(array)
+            self.dhdl.reg_outputs[reg.name] = array.name
+        return reg
+
+    def _lower_body(self, body, parent: OuterController) -> None:
+        for node in body:
+            if isinstance(node, Step):
+                _StepCoordinator(self, node, parent).run()
+            elif isinstance(node, Loop):
+                chain = CounterChain([Counter(0, node.trip)],
+                                     [E.Idx(f"{node.name}_it")])
+                stop = None
+                if node.stop_when_zero is not None:
+                    stop = self._cell_reg(node.stop_when_zero)
+                loop = OuterController(self.dhdl.fresh(node.name),
+                                       Scheme.SEQUENTIAL, chain=chain,
+                                       stop_when_zero=stop,
+                                       max_trip=node.trip)
+                parent.add(loop)
+                if node.index_cell is not None:
+                    reg = self._cell_reg(node.index_cell)
+                    idx_chain = CounterChain([Counter(0, 1)],
+                                             [E.Idx("z")])
+                    loop.add(InnerCompute(
+                        self.dhdl.fresh(f"{node.name}_idx"), idx_chain,
+                        [WriteStmt(reg, (), chain.indices[0])],
+                        address_class=True))
+                self._lower_body(node.body, loop)
+            else:
+                raise LoweringError(f"unknown program node {node!r}")
+
+
+def lower(program: Program, **kwargs) -> DhdlProgram:
+    """Convenience wrapper: lower a program with default budgets."""
+    return Lowerer(program, **kwargs).lower()
+
+
+class _SharedStep:
+    """State shared by the unrolled copies of one step.
+
+    Outer-loop parallelization (Section 3.6's unrolling) duplicates a
+    step's inner controllers ``unroll`` times; the copies share the step
+    scope, the tile loop (whose unrolled counter steps ``unroll`` tiles
+    at a time), whole-array buffer plans, and the list of partial fold
+    accumulators merged by a final combiner.
+    """
+
+    def __init__(self, scope: OuterController, unroll: int):
+        self.scope = scope
+        self.unroll = unroll
+        self.unroll_axis: Optional[int] = None
+        self.counters_ready = False
+        self.tile_chain_counters: List[Counter] = []
+        self.tile_chain_indices: List[E.Idx] = []
+        self.loop: Optional[OuterController] = None
+        self.whole_plans: Dict[str, _ArrayPlan] = {}
+        #: fold output name -> list over copies of per-width partial regs
+        self.fold_parts: Dict[str, List[List[Reg]]] = {}
+
+
+class _StepCoordinator:
+    """Creates the step scope and drives the unrolled copies."""
+
+    def __init__(self, owner: Lowerer, step: Step,
+                 parent: OuterController):
+        self.owner = owner
+        self.dhdl = owner.dhdl
+        self.step = step
+        self.scope = OuterController(self.dhdl.fresh(step.name),
+                                     Scheme.PIPELINE)
+        parent.add(self.scope)
+
+    def run(self) -> None:
+        requested = self.step.outer_par
+        if not isinstance(self.step.pattern, (Map, Fold)):
+            requested = 1  # unrolling supported for Map/Fold steps
+        shared = _SharedStep(self.scope, min(requested, 8))
+        first = _StepLowerer(self.owner, self.step, self.scope,
+                             copy_id=0, shared=shared)
+        first.run()
+        for copy_id in range(1, shared.unroll):
+            _StepLowerer(self.owner, self.step, self.scope,
+                         copy_id=copy_id, shared=shared).run()
+        self._merge_fold_partials(shared)
+
+    def _merge_fold_partials(self, shared: _SharedStep) -> None:
+        """Combine per-copy partial accumulators into the outputs."""
+        if not shared.fold_parts:
+            return
+        pattern: Fold = self.step.pattern
+        width = pattern.width
+        parts = shared.fold_parts[self.step.outputs[0].name]
+        current = [E.Load(parts[0][w], ()) for w in range(width)]
+        for copy in parts[1:]:
+            mapping = {}
+            for w in range(width):
+                mapping[pattern.acc_a[w]] = current[w]
+                mapping[pattern.acc_b[w]] = E.Load(copy[w], ())
+            current = [substitute(pattern.combine[w], mapping, {})
+                       for w in range(width)]
+        chain = CounterChain([Counter(0, 1)], [E.Idx("z")])
+        writes = [WriteStmt(self.owner._cell_reg(out), (), current[w])
+                  for w, out in enumerate(self.step.outputs)]
+        self.scope.add(InnerCompute(
+            self.dhdl.fresh(f"{self.step.name}_merge"), chain, writes))
+
+
+class _StepLowerer:
+    """Lowers one (copy of a possibly unrolled) pattern step."""
+
+    def __init__(self, owner: Lowerer, step: Step,
+                 scope: OuterController, copy_id: int = 0,
+                 shared: Optional[_SharedStep] = None):
+        self.owner = owner
+        self.dhdl = owner.dhdl
+        self.step = step
+        self.pattern = step.pattern
+        self.copy_id = copy_id
+        self.shared = shared or _SharedStep(scope, 1)
+        self.scope = self.shared.scope
+        self.dims: List[_DimInfo] = []
+        self.tile_chain_counters = self.shared.tile_chain_counters
+        self.tile_chain_indices = self.shared.tile_chain_indices
+        self.plans: Dict[str, _ArrayPlan] = {}
+        self.pre_loads: List = []      # whole-array loads (scope level)
+        self.tile_loads: List = []     # per-tile loads (tile loop level)
+        self.gather_nodes: List = []   # (addr compute, Gather) pairs
+        self._gather_cache: Dict[int, E.Load] = {}
+        self._rewrite_memo: Dict[E.Expr, E.Expr] = {}
+        self._simplify_memo: Dict[E.Expr, E.Expr] = {}
+        self._origin_subst: Dict[E.Expr, E.Expr] = {}
+
+    # ------------------------------------------------------------ entry -----
+    def run(self) -> None:
+        self._build_dims()
+        self._plan_arrays()
+        self._emit()
+
+    # ------------------------------------------------------- domain / dims --
+    def _pattern_dim_list(self):
+        """(dims, indices, n_map_dims): pattern dims plus nested fold
+        dims, flagged by how many leading dims are map (output) dims."""
+        pattern = self.pattern
+        if isinstance(pattern, Map) and pattern.inner is not None:
+            dims = list(pattern.dims) + list(pattern.inner.dims)
+            indices = list(pattern.indices) + list(pattern.inner.indices)
+            return dims, indices, len(pattern.dims)
+        if isinstance(pattern, Fold):
+            # a plain Fold's own static dims tile (carry accumulation
+            # stitches the partial reductions together)
+            return list(pattern.dims), list(pattern.indices), len(
+                pattern.dims)
+        n = len(pattern.dims)
+        return list(pattern.dims), list(pattern.indices), n
+
+    def _tile_of(self, axis: int, extent: int) -> int:
+        if self.step.tile is not None and axis < len(self.step.tile):
+            return min(self.step.tile[axis], extent)
+        # only the innermost tiled dim gets a large tile; outer dims get
+        # modest tiles so 2-d tiles stay within one PMU
+        return min(extent, self.owner.tile_words)
+
+    def _build_dims(self) -> None:
+        dims, indices, n_map = self._pattern_dim_list()
+        self.n_map_dims = n_map
+        shared = self.shared
+        tiled_axes = []
+        for axis, (dim, idx) in enumerate(zip(dims, indices)):
+            if isinstance(dim, StaticDim) and axis < n_map:
+                tiled_axes.append(axis)
+        # budget 2-d+ tiles: shrink outer tiled dims so tile products of
+        # the *output* stay reasonable
+        tile_sizes: Dict[int, int] = {}
+        budget = self.owner.tile_words
+        for axis in reversed(tiled_axes):
+            extent = dims[axis].extent
+            tile = min(self._tile_of(axis, extent), max(1, budget))
+            tile_sizes[axis] = tile
+            budget = max(1, budget // max(1, tile))
+
+        # pick the unroll axis (copy 0 decides for all copies): the
+        # first tiled axis with enough tiles to feed every copy
+        if not shared.counters_ready and shared.unroll > 1:
+            chosen = None
+            for axis in tiled_axes:
+                extent = dims[axis].extent
+                tile = tile_sizes[axis]
+                if tile < extent and extent >= tile * shared.unroll:
+                    chosen = axis
+                    break
+            if chosen is None:
+                shared.unroll = 1
+            shared.unroll_axis = chosen
+
+        chain_pos = 0
+        for axis, (dim, idx) in enumerate(zip(dims, indices)):
+            if isinstance(dim, StaticDim):
+                if axis in tile_sizes and tile_sizes[axis] < dim.extent:
+                    tile = tile_sizes[axis]
+                    if shared.counters_ready:
+                        origin = self.tile_chain_indices[chain_pos]
+                    else:
+                        origin = E.Idx(f"{idx.name}_o")
+                        step_size = tile
+                        if axis == shared.unroll_axis:
+                            step_size = tile * shared.unroll
+                        self.tile_chain_counters.append(
+                            Counter(0, dim.extent, step=step_size))
+                        self.tile_chain_indices.append(origin)
+                    chain_pos += 1
+                    origin_expr: E.Expr = origin
+                    if axis == shared.unroll_axis and self.copy_id:
+                        origin_expr = origin + self.copy_id * tile
+                    info = _DimInfo(idx, "tiled", dim.extent,
+                                    tile, origin_expr, origin_expr)
+                    self._origin_subst[idx] = origin_expr
+                elif axis in tile_sizes:
+                    info = _DimInfo(idx, "full", dim.extent,
+                                    tile_sizes[axis], E.wrap(0), E.wrap(0))
+                    self._origin_subst[idx] = E.wrap(0)
+                else:
+                    info = _DimInfo(idx, "full", dim.extent, dim.extent,
+                                    E.wrap(0), E.wrap(0))
+                    self._origin_subst[idx] = E.wrap(0)
+            elif isinstance(dim, DynDim):
+                reg = self.owner._cell_reg(dim.dyn.length_of)
+                info = _DimInfo(idx, "dyn", None, None, None, E.wrap(0))
+                info.length_reg = reg
+                self._origin_subst[idx] = E.wrap(0)
+            elif isinstance(dim, RangeDim):
+                info = _DimInfo(idx, "range", None, None, None, None)
+                info.range_dim = dim
+            else:
+                raise LoweringError(f"unsupported dim {dim!r}")
+            self.dims.append(info)
+        shared.counters_ready = True
+
+    # -------------------------------------------------------- array plans --
+    def _all_roots(self) -> List[E.Expr]:
+        pattern = self.pattern
+        roots: List[E.Expr] = []
+        if isinstance(pattern, Map):
+            if pattern.inner is not None:
+                roots += list(pattern.inner.body)
+                roots += list(pattern.inner.combine)
+                for dim in pattern.inner.dims:
+                    if isinstance(dim, RangeDim):
+                        roots += [dim.lo, dim.hi]
+            else:
+                roots += list(pattern.body)
+        elif isinstance(pattern, Fold):
+            roots += list(pattern.body) + list(pattern.combine)
+        elif isinstance(pattern, FlatMap):
+            for cond, value in pattern.emits:
+                roots += [cond, value]
+        elif isinstance(pattern, HashReduce):
+            roots += [pattern.key] + list(pattern.value)
+            roots += list(pattern.combine)
+        elif isinstance(pattern, ScatterMap):
+            roots += [pattern.index, pattern.value]
+        for dim in self.pattern.dims:
+            if isinstance(dim, RangeDim):
+                roots += [dim.lo, dim.hi]
+        return roots
+
+    def _plan_arrays(self) -> None:
+        """Decide a strategy per accessed collection, in dependency
+        rounds (index arrays before the arrays indexed through them)."""
+        loads_by_array: Dict[str, List[E.Load]] = {}
+        for root in self._all_roots():
+            for load in E.collect_loads(root):
+                if isinstance(load.array, Array):
+                    loads_by_array.setdefault(load.array.name,
+                                              []).append(load)
+        pending = dict(loads_by_array)
+        progressed = True
+        while pending and progressed:
+            progressed = False
+            for name in list(pending):
+                loads = pending[name]
+                array = self.owner.program.arrays[name]
+                if array.shape == ():
+                    self.plans[name] = _ArrayPlan(
+                        "cell", reg=self.owner._cell_reg(array))
+                    del pending[name]
+                    progressed = True
+                    continue
+                if self._deps_ready(loads, pending):
+                    self.plans[name] = self._plan_one(array, loads)
+                    del pending[name]
+                    progressed = True
+        if pending:
+            raise LoweringError(
+                f"circular index dependencies among arrays "
+                f"{sorted(pending)}")
+
+    def _deps_ready(self, loads: List[E.Load], pending) -> bool:
+        range_deps: Dict[E.Idx, set] = {}
+        for info in self.dims:
+            if info.kind == "range":
+                names = set()
+                for bound in (info.range_dim.lo, info.range_dim.hi):
+                    for inner in E.collect_loads(bound):
+                        if isinstance(inner.array, Array):
+                            names.add(inner.array.name)
+                range_deps[info.idx] = names
+        for load in loads:
+            for idx_expr in load.indices:
+                for inner in E.collect_loads(idx_expr):
+                    if isinstance(inner.array, Array) and \
+                            inner.array.name in pending and \
+                            inner.array.name != load.array.name:
+                        return False
+                # segment bases depend on the range-bound arrays
+                for idx in E.collect_indices(idx_expr):
+                    for name in range_deps.get(idx, ()):
+                        if name in pending and \
+                                name != load.array.name:
+                            return False
+        return True
+
+    def _is_gather(self, load: E.Load) -> bool:
+        return any(E.collect_loads(i) for i in load.indices)
+
+    def _plan_one(self, array: Array, loads: List[E.Load]) -> _ArrayPlan:
+        affine_loads = [l for l in loads if not self._is_gather(l)]
+        gather_loads = [l for l in loads if self._is_gather(l)]
+        if array.offchip:
+            # the paper's sparse collections: random reads stay in DRAM
+            # and go through the coalescing units
+            self.dhdl.dram(array)
+            if affine_loads:
+                tiled = self._try_tiled(array, affine_loads)
+                if tiled is not None:
+                    return tiled
+                # dense linear scans stream the collection through a
+                # per-activation buffer (no persistent caching)
+                if array.static_elems() <= self.owner.whole_budget:
+                    return self._plan_whole(array, affine_loads, [])
+                raise LoweringError(
+                    f"off-chip array {array.name!r} has affine "
+                    f"accesses that cannot be tiled")
+            return _ArrayPlan("gather-only")
+        if gather_loads and not affine_loads:
+            words = array.static_elems()
+            if words <= self.owner.whole_budget:
+                return self._plan_whole(array, affine_loads, gather_loads)
+            self.dhdl.dram(array)
+            return _ArrayPlan("gather-only")
+        tiled = self._try_tiled(array, affine_loads)
+        if tiled is not None:
+            if gather_loads:
+                self.dhdl.dram(array)
+            return tiled
+        words = array.static_elems()
+        if words <= self.owner.whole_budget:
+            return self._plan_whole(array, affine_loads, gather_loads)
+        if affine_loads:
+            raise LoweringError(
+                f"array {array.name!r} ({words} words) is too large to "
+                f"load whole and its accesses are not tileable")
+        self.dhdl.dram(array)
+        return _ArrayPlan("gather-only")
+
+    def _plan_whole(self, array, affine_loads, gather_loads) -> _ArrayPlan:
+        cached = self.shared.whole_plans.get(array.name)
+        if cached is not None:
+            return cached  # copies share the whole-array buffer
+        banking = self._banking_for(affine_loads + gather_loads)
+        shape = array.shape if not array.is_dynamic else (
+            array.static_elems(),)
+        sram = self.dhdl.sram(f"{array.name}_buf", shape, array.dtype,
+                              banking=banking, nbuf=1)
+        dram = self.dhdl.dram(array)
+        load_node = TileLoad(self.dhdl.fresh(f"load_{array.name}"), dram,
+                             sram, tuple(0 for _ in shape), shape)
+        self.pre_loads.append(load_node)
+        plan = _ArrayPlan("whole", sram=sram,
+                          serve_gathers=not array.offchip)
+        self.shared.whole_plans[array.name] = plan
+        return plan
+
+    def _banking_for(self, loads) -> BankingMode:
+        for load in loads:
+            for idx_expr in load.indices:
+                form = as_affine(idx_expr)
+                if form is None:
+                    return BankingMode.DUPLICATION
+                active = [i for i, c in form.coeffs.items() if c]
+                if len(active) >= 2:
+                    return BankingMode.LINE_BUFFER
+        return BankingMode.STRIDED
+
+    def _try_tiled(self, array: Array,
+                   loads: List[E.Load]) -> Optional[_ArrayPlan]:
+        """Translation-affine tiling plan, or None when not applicable."""
+        if not loads or array.is_dynamic:
+            return None
+        rank = array.ndim
+        dim_by_idx = {info.idx: info for info in self.dims}
+        # collect per-dim affine forms across all loads
+        consts: List[List[int]] = [[] for _ in range(rank)]
+        coeffs: List[Dict[E.Idx, int]] = [{} for _ in range(rank)]
+        range_base: List[Optional[E.Expr]] = [None] * rank
+        for load in loads:
+            for d, idx_expr in enumerate(load.indices):
+                form = as_affine(idx_expr)
+                if form is None:
+                    return None
+                active = {i: c for i, c in form.coeffs.items() if c}
+                for idx, coeff in active.items():
+                    if coeff < 0 or idx not in dim_by_idx:
+                        return None
+                    info = dim_by_idx[idx]
+                    if info.kind == "dyn":
+                        return None
+                    if info.kind == "range":
+                        if coeff != 1 or len(active) != 1:
+                            return None
+                        if not self._range_base_static(info):
+                            return None
+                        range_base[d] = info  # marker; resolved below
+                    prev = coeffs[d].get(idx)
+                    if prev is not None and prev != coeff:
+                        return None
+                    coeffs[d][idx] = coeff
+                consts[d].append(form.const)
+        # compute offsets and extents
+        offsets: List[E.Expr] = []
+        extents: List[int] = []
+        locals_needed = False
+        for d in range(rank):
+            if not consts[d]:
+                return None
+            cmin, cmax = min(consts[d]), max(consts[d])
+            if range_base[d] is not None:
+                info = range_base[d]
+                lo = info.range_dim.lo
+                base = substitute(lo, self._origin_subst, {})
+                offsets.append(self._rewrite_for_inner(base))
+                extents.append(min(self.owner.seg_budget,
+                                   _static_dim_size(array, d)))
+                locals_needed = True
+                continue
+            offset: E.Expr = E.wrap(cmin)
+            extent = cmax - cmin + 1
+            for idx, coeff in coeffs[d].items():
+                info = dim_by_idx[idx]
+                if info.kind == "tiled":
+                    offset = offset + info.origin * coeff
+                    extent += coeff * (info.tile - 1)
+                    locals_needed = True
+                else:  # full
+                    extent += coeff * (info.extent - 1)
+            extent = min(extent, _static_dim_size(array, d))
+            offsets.append(offset)
+            extents.append(extent)
+        words = 1
+        for extent in extents:
+            words *= extent
+        if words > self.owner.whole_budget * 4:
+            return None
+        # degenerate to WHOLE when nothing is actually translated and
+        # the collection fits the whole-array budget
+        if not locals_needed and words == array.static_elems() \
+                and words <= self.owner.whole_budget:
+            return None
+        banking = self._banking_for(loads)
+        nbuf = 2 if self.tile_chain_counters else 1
+        offsets = [simplify(o, self._simplify_memo) for o in offsets]
+        sram = self.dhdl.sram(f"{array.name}_tile", extents, array.dtype,
+                              banking=banking, nbuf=nbuf)
+        dram = self.dhdl.dram(array)
+        load_node = TileLoad(self.dhdl.fresh(f"load_{array.name}"), dram,
+                             sram, offsets, extents)
+        self.tile_loads.append(load_node)
+        return _ArrayPlan("tiled", sram=sram, offsets=offsets,
+                          extents=extents)
+
+    # -------------------------------------------------------- rewriting -----
+    def _range_base_static(self, info: _DimInfo) -> bool:
+        """A segment base is usable only when the range's lower bound
+        depends solely on static (tiled/full) dims — otherwise positions
+        are not contiguous within one tile activation."""
+        static = {d.idx for d in self.dims if d.kind in ("tiled", "full")}
+        for idx in E.collect_indices(info.range_dim.lo):
+            if idx not in static:
+                return False
+        return True
+
+    def _rewrite_for_inner(self, root: E.Expr) -> E.Expr:
+        """Rewrite a traced expression for the inner compute body."""
+        rewritten = rewrite(root, self._replace_node, self._rewrite_memo)
+        return simplify(rewritten, self._simplify_memo)
+
+    def _replace_node(self, node: E.Expr) -> Optional[E.Expr]:
+        if not isinstance(node, E.Load) or not isinstance(node.array,
+                                                          Array):
+            return None
+        array = node.array
+        if array.shape == ():
+            return E.Load(self.owner._cell_reg(array), ())
+        plan = self.plans.get(array.name)
+        if plan is None:
+            raise LoweringError(f"no plan for array {array.name!r}")
+        if self._is_gather(node) and not plan.serve_gathers:
+            return self._lower_gather(node)
+        if plan.kind == "whole":
+            idxs = [self._rewrite_for_inner(i) for i in node.indices]
+            if array.is_dynamic:
+                return E.Load(plan.sram, idxs)
+            return E.Load(plan.sram, idxs)
+        if plan.kind == "tiled":
+            local = []
+            for d, idx_expr in enumerate(node.indices):
+                rewritten = self._rewrite_for_inner(idx_expr)
+                offset = plan.offsets[d]
+                if isinstance(offset, E.Const) and offset.value == 0:
+                    local.append(rewritten)
+                else:
+                    local.append(rewritten - offset)
+            return E.Load(plan.sram, local)
+        raise LoweringError(
+            f"array {array.name!r} has plan {plan.kind!r} but is "
+            f"accessed directly")
+
+    def _inner_pos(self) -> Tuple[E.Expr, E.Expr]:
+        """(position, base) of the innermost chain dim within its tile."""
+        info = self.dims[-1]
+        if info.kind == "tiled":
+            return info.idx - info.origin, info.origin
+        if info.kind == "full":
+            return info.idx, E.wrap(0)
+        if info.kind == "dyn":
+            return info.idx, E.wrap(0)
+        # range: position relative to the tile-wide segment base (the
+        # range's lower bound evaluated at the tile origin; requires the
+        # bound to be monotone in the tiled index, as CSR pointers are)
+        if not self._range_base_static(info):
+            raise LoweringError(
+                f"step {self.step.name!r}: a gather/scatter position "
+                f"cannot be derived for a range whose base depends on "
+                f"dynamic dims; restructure as a 1-d pass (see BFS)")
+        lo = info.range_dim.lo
+        base = self._rewrite_for_inner(substitute(lo, self._origin_subst,
+                                                  {}))
+        return info.idx - base, base
+
+    def _gather_budget(self) -> int:
+        info = self.dims[-1]
+        if info.kind in ("tiled", "full"):
+            return info.tile
+        if info.kind == "dyn":
+            # budget from the dynamic collection bound
+            length_of = None
+            for dim in self.pattern.dims:
+                if isinstance(dim, DynDim):
+                    length_of = dim.dyn.length_of
+            bound = getattr(length_of, "max_elems", None)
+            if bound:
+                return bound
+            return self.owner.seg_budget
+        return self.owner.seg_budget
+
+    def _lower_gather(self, node: E.Load) -> E.Load:
+        key = id(node)
+        cached = self._gather_cache.get(key)
+        if cached is not None:
+            return cached
+        array = node.array
+        if array.ndim != 1:
+            raise LoweringError(
+                f"gather target {array.name!r} must be 1-d")
+        idx_expr = self._rewrite_for_inner(node.indices[0])
+        budget = self._gather_budget()
+        pos, _base = self._inner_pos()
+        addr = self.dhdl.sram(f"{array.name}_addr", (budget,), E.INT32,
+                              banking=BankingMode.STRIDED, nbuf=2)
+        dst = self.dhdl.sram(f"{array.name}_g", (budget,), array.dtype,
+                             banking=BankingMode.DUPLICATION, nbuf=2)
+        chain = self._inner_chain()
+        addr_compute = InnerCompute(
+            self.dhdl.fresh(f"{array.name}_addrs"), chain,
+            [WriteStmt(addr, (pos,), idx_expr)], address_class=True)
+        dram = self.dhdl.dram(array)
+        gather = Gather(self.dhdl.fresh(f"gather_{array.name}"), dram,
+                        addr, dst)
+        self.gather_nodes.append((addr_compute, gather))
+        result = E.Load(dst, (pos,))
+        self._gather_cache[key] = result
+        return result
+
+    # ---------------------------------------------------------- chains ------
+    def _inner_chain(self) -> CounterChain:
+        counters = []
+        indices = []
+        for pos, info in enumerate(self.dims):
+            is_inner = pos == len(self.dims) - 1
+            par = self._par_for(pos) if is_inner else 1
+            if info.kind == "tiled":
+                hi = E.minimum(info.origin + info.tile,
+                               E.wrap(info.extent))
+                counters.append(Counter(info.origin, hi, par=par))
+            elif info.kind == "full":
+                counters.append(Counter(0, info.extent, par=par))
+            elif info.kind == "dyn":
+                counters.append(Counter(0, E.Load(info.length_reg, ()),
+                                        par=par))
+            else:
+                lo = self._rewrite_for_inner(info.range_dim.lo)
+                hi = self._rewrite_for_inner(info.range_dim.hi)
+                counters.append(Counter(lo, hi, par=par))
+            indices.append(info.idx)
+        return CounterChain(counters, indices)
+
+    def _par_for(self, pos: int) -> int:
+        pattern = self.pattern
+        lanes = 16
+        if isinstance(pattern, Map) and pattern.inner is not None and \
+                pos >= self.n_map_dims:
+            requested = self.step.inner_par
+        else:
+            requested = self.step.par[pos] if pos < len(self.step.par) \
+                else 1
+        if requested > 1:
+            return min(requested, lanes)
+        info = self.dims[pos]
+        hint = info.tile if info.tile else 16
+        return max(1, min(lanes, hint))
+
+    # ----------------------------------------------------------- emission ---
+    def _emit(self) -> None:
+        pattern = self.pattern
+        if isinstance(pattern, Map):
+            self._emit_map()
+        elif isinstance(pattern, Fold):
+            self._emit_fold()
+        elif isinstance(pattern, FlatMap):
+            self._emit_flatmap()
+        elif isinstance(pattern, HashReduce):
+            self._emit_hash_reduce()
+        elif isinstance(pattern, ScatterMap):
+            self._emit_scatter()
+        else:
+            raise LoweringError(f"cannot lower pattern {pattern!r}")
+
+    def _tile_loop(self) -> OuterController:
+        """The (possibly single-iteration) loop over tile origins."""
+        if self.tile_chain_counters:
+            chain = CounterChain(self.tile_chain_counters,
+                                 self.tile_chain_indices)
+        else:
+            chain = None
+        loop = OuterController(self.dhdl.fresh(f"{self.step.name}_tiles"),
+                               Scheme.PIPELINE, chain=chain)
+        return loop
+
+    def _assign_bank_strides(self, computes) -> None:
+        """Configure each tile's address decoder so the vectorised
+        (innermost) access dimension interleaves across banks."""
+        inner_idx = self.dims[-1].idx
+        strides: Dict[str, set] = {}
+        srams: Dict[str, Sram] = {}
+        for compute in computes:
+            if not isinstance(compute, InnerCompute):
+                continue
+            roots = []
+            for stmt in compute.stmts:
+                roots.extend(stmt.exprs())
+            for root in roots:
+                for load in E.collect_loads(root):
+                    if not isinstance(load.array, Sram):
+                        continue
+                    lc = classify_load(load)
+                    flat = lc.flat_affine(load.array.shape)
+                    if flat is None:
+                        continue
+                    stride = flat.stride_of(inner_idx)
+                    if stride > 0:
+                        strides.setdefault(load.array.name,
+                                           set()).add(stride)
+                        srams[load.array.name] = load.array
+        for name, found in strides.items():
+            if len(found) == 1:
+                srams[name].bank_stride = found.pop()
+
+    def _assemble(self, inner_children, finals=()) -> None:
+        """Wire scope = [pre_loads..., tile_loop[...], finals...].
+
+        Later copies must still place their initialisers *before* the
+        shared tile loop in program order (initialise -> accumulate ->
+        merge dependency direction).
+        """
+        if self.shared.loop is None:
+            for node in self.pre_loads:
+                self.scope.add(node)
+            self.shared.loop = self._tile_loop()
+            self.scope.add(self.shared.loop)
+        else:
+            position = self.scope.children.index(self.shared.loop)
+            for node in self.pre_loads:
+                node.parent = self.scope
+                self.scope.children.insert(position, node)
+                position += 1
+        loop = self.shared.loop
+        for node in self.tile_loads:
+            loop.add(node)
+        for addr_compute, gather in self.gather_nodes:
+            loop.add(addr_compute)
+            loop.add(gather)
+        strided = list(inner_children) + [a for a, _ in
+                                          self.gather_nodes]
+        self._assign_bank_strides(
+            [c for c in strided if isinstance(c, InnerCompute)]
+            + [c for node in strided if isinstance(node, OuterController)
+               for c in node.children if isinstance(c, InnerCompute)])
+        for child in inner_children:
+            loop.add(child)
+        for node in finals:
+            self.scope.add(node)
+        self._loop = loop
+
+    def _out_tile(self, out: Array, map_dims: List[_DimInfo],
+                  dtype: str) -> Tuple[Sram, List[E.Expr], List[int],
+                                       List[E.Expr]]:
+        """(sram, local addr exprs, tile shape, store offsets)."""
+        if out.ndim == 0:
+            raise LoweringError("0-d outputs use registers, not tiles")
+        shape = []
+        local = []
+        offsets = []
+        if out.is_dynamic:
+            info = self.dims[0]
+            budget = out.static_elems()
+            shape = [budget]
+            local = [info.idx]
+            offsets = [E.wrap(0)]
+        else:
+            for info in map_dims:
+                shape.append(info.tile if info.tile else
+                             self.owner.seg_budget)
+                if info.kind == "tiled":
+                    local.append(info.idx - info.origin)
+                    offsets.append(info.origin)
+                else:
+                    local.append(info.idx)
+                    offsets.append(E.wrap(0))
+        sram = self.dhdl.sram(f"{out.name}_tile", shape, dtype,
+                              nbuf=2 if self.tile_chain_counters else 1)
+        return sram, local, shape, offsets
+
+    def _emit_map(self) -> None:
+        pattern: Map = self.pattern
+        map_dims = self.dims[:self.n_map_dims] or self.dims
+        outs = self.step.outputs
+        stores = []
+        stmts = []
+        if pattern.inner is not None:
+            fold = pattern.inner
+            tiles = []
+            for k, out in enumerate(outs):
+                sram, local, shape, offsets = self._out_tile(
+                    out, map_dims, fold.body[k].dtype)
+                tiles.append((sram, local, shape, offsets, out))
+            values = [self._rewrite_for_inner(b) for b in fold.body]
+            combines = [self._rewrite_for_inner(c) for c in fold.combine]
+            stmts.append(ReduceStmt(
+                [t[0] for t in tiles], values, combines, fold.acc_a,
+                fold.acc_b, fold.init, addr=tiles[0][1]))
+            for sram, local, shape, offsets, out in tiles:
+                dram = self.dhdl.dram(out)
+                stores.append(TileStore(
+                    self.dhdl.fresh(f"store_{out.name}"), dram, sram,
+                    offsets, shape, count=self._dyn_count(out)))
+        else:
+            for k, out in enumerate(outs):
+                if out.ndim == 0:
+                    reg = self.owner._cell_reg(out)
+                    stmts.append(WriteStmt(
+                        reg, (), self._rewrite_for_inner(
+                            pattern.body[k])))
+                    continue
+                sram, local, shape, offsets = self._out_tile(
+                    out, map_dims, pattern.body[k].dtype)
+                stmts.append(WriteStmt(sram, local,
+                                       self._rewrite_for_inner(
+                                           pattern.body[k])))
+                dram = self.dhdl.dram(out)
+                stores.append(TileStore(
+                    self.dhdl.fresh(f"store_{out.name}"), dram, sram,
+                    offsets, shape, count=self._dyn_count(out)))
+        compute = InnerCompute(self.dhdl.fresh(f"{self.step.name}_body"),
+                               self._inner_chain(), stmts)
+        self._assemble([compute] + stores)
+
+    def _dyn_count(self, out: Array) -> Optional[E.Expr]:
+        if not out.is_dynamic:
+            return None
+        # store exactly as many elements as the (dynamic) domain produced
+        info = self.dims[0]
+        if info.kind == "dyn":
+            return E.Load(info.length_reg, ())
+        for dim in out.shape:
+            length_reg = self.owner._cell_reg(dim.length_of)
+            return E.Load(length_reg, ())
+        return None
+
+    def _emit_fold(self) -> None:
+        pattern: Fold = self.pattern
+        regs = []
+        init_stmts = []
+        unrolled = self.shared.unroll > 1
+        for k, out in enumerate(self.step.outputs):
+            if unrolled:
+                reg = self.dhdl.reg(f"{out.name}_part",
+                                    pattern.body[k].dtype,
+                                    init=pattern.init[k])
+            else:
+                reg = self.owner._cell_reg(out)
+            regs.append(reg)
+            init_stmts.append(WriteStmt(reg, (),
+                                        E.wrap(pattern.init[k])))
+        if unrolled:
+            parts = self.shared.fold_parts.setdefault(
+                self.step.outputs[0].name, [])
+            parts.append(regs)
+        init_chain = CounterChain([Counter(0, 1)], [E.Idx("z")])
+        init = InnerCompute(self.dhdl.fresh(f"{self.step.name}_init"),
+                            init_chain, init_stmts, address_class=True)
+        values = [self._rewrite_for_inner(b) for b in pattern.body]
+        combines = [self._rewrite_for_inner(c) for c in pattern.combine]
+        stmt = ReduceStmt(regs, values, combines, pattern.acc_a,
+                          pattern.acc_b, pattern.init, carry=True)
+        compute = InnerCompute(self.dhdl.fresh(f"{self.step.name}_body"),
+                               self._inner_chain(), [stmt])
+        self.pre_loads.insert(0, init)
+        self._assemble([compute])
+
+    def _emit_flatmap(self) -> None:
+        pattern: FlatMap = self.pattern
+        out = self.step.outputs[0]
+        count_reg = self.owner._cell_reg(self.step.length_output)
+        init_chain = CounterChain([Counter(0, 1)], [E.Idx("z")])
+        init = InnerCompute(self.dhdl.fresh(f"{self.step.name}_rst"),
+                            init_chain, [WriteStmt(count_reg, (),
+                                                   E.wrap(0))],
+                            address_class=True)
+        fifo = self.dhdl.fifo(f"{out.name}_fifo", out.dtype, depth=8)
+        emit_stmts = [EmitStmt(fifo, self._rewrite_for_inner(cond),
+                               self._rewrite_for_inner(value))
+                      for cond, value in pattern.emits]
+        compute = InnerCompute(self.dhdl.fresh(f"{self.step.name}_body"),
+                               self._inner_chain(), emit_stmts)
+        dram = self.dhdl.dram(out)
+        drain = StreamStore(self.dhdl.fresh(f"{self.step.name}_drain"),
+                            dram, fifo, count_reg,
+                            base_offset=E.Load(count_reg, ()),
+                            accumulate=True)
+        stream = OuterController(
+            self.dhdl.fresh(f"{self.step.name}_stream"), Scheme.STREAMING)
+        stream.add(compute)
+        stream.add(drain)
+        self.pre_loads.insert(0, init)
+        self._assemble([stream])
+
+    def _emit_hash_reduce(self) -> None:
+        pattern: HashReduce = self.pattern
+        self._check_componentwise(pattern)
+        bins = pattern.bins
+        stores = []
+        stmts = []
+        init_computes = []
+        for k, out in enumerate(self.step.outputs):
+            sram = self.dhdl.sram(f"{out.name}_bins", (bins,),
+                                  pattern.value[k].dtype, nbuf=1)
+            zidx = E.Idx("b")
+            init_chain = CounterChain(
+                [Counter(0, bins, par=min(16, bins))], [zidx])
+            init_computes.append(InnerCompute(
+                self.dhdl.fresh(f"{self.step.name}_init{k}"), init_chain,
+                [WriteStmt(sram, (zidx,), E.wrap(pattern.init[k]))],
+                address_class=True))
+            stmts.append(HashReduceStmt(
+                sram, self._rewrite_for_inner(pattern.key),
+                self._rewrite_for_inner(pattern.value[k]),
+                self._rewrite_for_inner(pattern.combine[k]),
+                pattern.acc_a[k], pattern.acc_b[k], pattern.init[k],
+                carry=True))
+            dram = self.dhdl.dram(out)
+            stores.append(TileStore(self.dhdl.fresh(f"store_{out.name}"),
+                                    dram, sram, (0,), (bins,)))
+        compute = InnerCompute(self.dhdl.fresh(f"{self.step.name}_body"),
+                               self._inner_chain(), stmts)
+        for init in reversed(init_computes):
+            self.pre_loads.insert(0, init)
+        self._assemble([compute], finals=stores)
+
+    def _check_componentwise(self, pattern: HashReduce) -> None:
+        for k, combine in enumerate(pattern.combine):
+            allowed = {pattern.acc_a[k], pattern.acc_b[k]}
+            for node in E.postorder(combine):
+                if isinstance(node, E.Var) and node not in allowed:
+                    raise LoweringError(
+                        "HashReduce combine functions must be "
+                        "component-wise (component "
+                        f"{k} references other accumulators)")
+
+    def _emit_scatter(self) -> None:
+        pattern: ScatterMap = self.pattern
+        target = self.step.outputs[0]
+        budget = self._gather_budget()
+        pos, _ = self._inner_pos()
+        addr = self.dhdl.sram(f"{self.step.name}_addr", (budget,),
+                              E.INT32, nbuf=2)
+        vals = self.dhdl.sram(f"{self.step.name}_val", (budget,),
+                              pattern.value.dtype, nbuf=2)
+        compute = InnerCompute(
+            self.dhdl.fresh(f"{self.step.name}_body"),
+            self._inner_chain(),
+            [WriteStmt(addr, (pos,),
+                       self._rewrite_for_inner(pattern.index)),
+             WriteStmt(vals, (pos,),
+                       self._rewrite_for_inner(pattern.value))])
+        dram = self.dhdl.dram(target)
+        scatter = Scatter(self.dhdl.fresh(f"{self.step.name}_scatter"),
+                          dram, addr, vals)
+        self._assemble([compute, scatter])
+
+
+def _static_dim_size(array: Array, d: int) -> int:
+    size = array.shape[d]
+    if isinstance(size, int):
+        return size
+    return array.static_elems()

@@ -1,0 +1,181 @@
+"""Placement and routing on the Plasticine checkerboard (Section 3.6).
+
+The fabric is a ``cols x rows`` checkerboard of PCUs and PMUs with a
+switch at every grid corner (``(cols+1) x (rows+1)`` switches) shared by
+the three networks.  Placement is greedy: each virtual unit takes the
+free site of the right kind nearest its already-placed neighbours.
+Routing is BFS over the switch grid with per-link capacity; a route's
+length gives the hop latency the simulator charges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.errors import MappingError
+
+Site = Tuple[int, int]
+
+
+@dataclass
+class Net:
+    """One routed connection between two placed entities."""
+
+    src: str
+    dst: str
+    network: str = "vector"      # "vector" | "scalar" | "control"
+    path: Tuple[Site, ...] = ()
+
+    @property
+    def hops(self) -> int:
+        """Registered switch hops along the route."""
+        return max(1, len(self.path) - 1)
+
+
+class Fabric:
+    """Placement state for one compilation."""
+
+    def __init__(self, params: PlasticineParams = DEFAULT,
+                 tracks_per_link: int = 4,
+                 pmu_fraction: float = 0.5):
+        """``pmu_fraction`` sets the PMU:PCU mix (0.5 = the paper's 1:1
+        checkerboard; 2/3 = the 2:1 ratio studied in Section 3.7)."""
+        self.params = params
+        self.tracks = tracks_per_link
+        self.pmu_fraction = pmu_fraction
+        self.free_pcus: List[Site] = []
+        self.free_pmus: List[Site] = []
+        quota = 0.0
+        for row in range(params.grid_rows):
+            for col in range(params.grid_cols):
+                quota += pmu_fraction
+                if quota >= 1.0:
+                    quota -= 1.0
+                    self.free_pmus.append((col, row))
+                else:
+                    self.free_pcus.append((col, row))
+        self._initial_pcus = len(self.free_pcus)
+        self._initial_pmus = len(self.free_pmus)
+        self.placed: Dict[str, List[Site]] = {}
+        self._link_use: Dict[Tuple[Site, Site, str], int] = {}
+        self.nets: List[Net] = []
+
+    # -- placement ---------------------------------------------------------------
+    def _take_nearest(self, pool: List[Site],
+                      near: Optional[Site]) -> Site:
+        if not pool:
+            raise MappingError("fabric exhausted: no free unit of the "
+                               "requested kind")
+        if near is None:
+            return pool.pop(0)
+        best = min(pool, key=lambda s: abs(s[0] - near[0])
+                   + abs(s[1] - near[1]))
+        pool.remove(best)
+        return best
+
+    def centroid(self, name: str) -> Optional[Site]:
+        """Mean site of an already-placed entity."""
+        sites = self.placed.get(name)
+        if not sites:
+            return None
+        col = sum(s[0] for s in sites) // len(sites)
+        row = sum(s[1] for s in sites) // len(sites)
+        return (col, row)
+
+    def place_pcus(self, name: str, count: int,
+                   near: Optional[Site] = None) -> List[Site]:
+        """Allocate ``count`` PCU sites for a (partitioned) unit."""
+        sites = []
+        anchor = near
+        for _ in range(count):
+            site = self._take_nearest(self.free_pcus, anchor)
+            sites.append(site)
+            anchor = site
+        self.placed.setdefault(name, []).extend(sites)
+        return sites
+
+    def place_pmus(self, name: str, count: int,
+                   near: Optional[Site] = None) -> List[Site]:
+        """Allocate ``count`` PMU sites for a logical scratchpad."""
+        sites = []
+        anchor = near
+        for _ in range(count):
+            site = self._take_nearest(self.free_pmus, anchor)
+            sites.append(site)
+            anchor = site
+        self.placed.setdefault(name, []).extend(sites)
+        return sites
+
+    # -- routing -----------------------------------------------------------------
+    def _switch_of(self, site: Site) -> Site:
+        """The switch at a unit's north-west corner."""
+        return site
+
+    def route(self, src_name: str, dst_name: str,
+              network: str = "vector") -> Net:
+        """BFS route between two placed entities on one network."""
+        src_sites = self.placed.get(src_name)
+        dst_sites = self.placed.get(dst_name)
+        if not src_sites or not dst_sites:
+            raise MappingError(
+                f"routing {src_name!r}->{dst_name!r}: endpoint not "
+                f"placed")
+        start = self._switch_of(src_sites[-1])
+        goals = {self._switch_of(s) for s in dst_sites}
+        path = self._bfs(start, goals, network)
+        if path is None:
+            raise MappingError(
+                f"no capacity to route {src_name!r}->{dst_name!r} on "
+                f"the {network} network")
+        for a, b in zip(path, path[1:]):
+            self._link_use[(a, b, network)] = self._link_use.get(
+                (a, b, network), 0) + 1
+        net = Net(src_name, dst_name, network, tuple(path))
+        self.nets.append(net)
+        return net
+
+    def _bfs(self, start: Site, goals: Set[Site],
+             network: str) -> Optional[List[Site]]:
+        max_col = self.params.grid_cols
+        max_row = self.params.grid_rows
+        frontier = deque([start])
+        came: Dict[Site, Optional[Site]] = {start: None}
+        while frontier:
+            node = frontier.popleft()
+            if node in goals:
+                path = [node]
+                while came[path[-1]] is not None:
+                    path.append(came[path[-1]])
+                return list(reversed(path))
+            col, row = node
+            for nxt in ((col + 1, row), (col - 1, row), (col, row + 1),
+                        (col, row - 1)):
+                if not (0 <= nxt[0] <= max_col and 0 <= nxt[1] <= max_row):
+                    continue
+                if nxt in came:
+                    continue
+                if self._link_use.get((node, nxt, network),
+                                      0) >= self.tracks:
+                    continue
+                came[nxt] = node
+                frontier.append(nxt)
+        return None
+
+    # -- reporting ---------------------------------------------------------------
+    def switches_used(self) -> int:
+        """Distinct switch sites any net passes through."""
+        used: Set[Site] = set()
+        for net in self.nets:
+            used.update(net.path)
+        return len(used)
+
+    def pcus_used(self) -> int:
+        """PCU sites allocated."""
+        return self._initial_pcus - len(self.free_pcus)
+
+    def pmus_used(self) -> int:
+        """PMU sites allocated."""
+        return self._initial_pmus - len(self.free_pmus)

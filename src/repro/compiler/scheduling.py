@@ -1,0 +1,165 @@
+"""Stage scheduling: linearize inner-controller dataflow into SIMD stages.
+
+Section 3.6: "The computation in inner controllers is scheduled by
+linearizing the data flow graph and mapping the resulting list of
+operations to virtual stages and registers."
+
+Each compute op (BinOp/UnOp/Select) becomes one SIMD stage.  The schedule
+is a topological order; the live-value high-water mark across stage
+boundaries is the pipeline-register requirement, and the counts of
+distinct scratchpad/register/FIFO operands give the unit's IO needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.dhdl.ir import (EmitStmt, HashReduceStmt, InnerCompute,
+                           ReduceStmt, WriteStmt)
+from repro.dhdl.memory import FifoDecl, Reg, Sram
+from repro.patterns import expr as E
+
+
+@dataclass
+class StageSchedule:
+    """Linearized schedule of one inner controller's body."""
+
+    #: compute ops in issue order (one per SIMD stage)
+    stages: List[E.Expr]
+    #: maximum values live across any stage boundary
+    max_live: int
+    #: distinct vector operand sources (SRAM reads -> vector inputs)
+    vector_reads: int
+    #: distinct vector result sinks (SRAM writes / FIFO emissions)
+    vector_writes: int
+    #: distinct scalar operand sources (register reads, counter values)
+    scalar_reads: int
+    #: distinct scalar sinks (register writes / reduction results)
+    scalar_writes: int
+    #: extra stages needed for a full cross-lane reduction tree
+    reduction_stages: int
+
+    @property
+    def num_stages(self) -> int:
+        """Total virtual pipeline stages including reduction trees."""
+        return max(1, len(self.stages) + self.reduction_stages)
+
+
+def _gather_roots(leaf: InnerCompute) -> List[E.Expr]:
+    """Expression roots that occupy datapath stages.
+
+    Reduce/hash combines are excluded: the cross-lane part runs on the
+    dedicated reduction tree and the read-modify-write on the
+    accumulation stage, both already counted as ``reduction_stages``.
+    """
+    roots: List[E.Expr] = []
+    for stmt in leaf.stmts:
+        if isinstance(stmt, ReduceStmt):
+            roots.extend(stmt.addr)
+            roots.extend(stmt.values)
+        elif isinstance(stmt, HashReduceStmt):
+            roots.extend((stmt.key, stmt.value))
+        elif isinstance(stmt, WriteStmt):
+            roots.append(stmt.value)
+        else:
+            roots.extend(stmt.exprs())
+    # write/counter address expressions are evaluated on the PMU scalar
+    # address datapath, not in PCU SIMD stages, so only values count
+    return roots
+
+
+def _value_nodes(roots):
+    """Post-order over value computation, NOT descending into Load
+    addresses (address calculation runs on the PMU scalar datapath,
+    Section 3.2)."""
+    seen: Set[E.Expr] = set()
+    order: List[E.Expr] = []
+
+    def visit(node):
+        if node in seen:
+            return
+        seen.add(node)
+        if not isinstance(node, E.Load):
+            for child in node.children():
+                visit(child)
+        order.append(node)
+
+    for root in roots:
+        visit(root)
+    return order
+
+
+def schedule(leaf: InnerCompute) -> StageSchedule:
+    """Schedule one inner controller body into virtual stages."""
+    roots = _gather_roots(leaf)
+    order = _value_nodes(roots)
+
+    compute = [n for n in order
+               if isinstance(n, (E.BinOp, E.UnOp, E.Select))]
+
+    # consumers map to compute live ranges
+    consumers: Dict[E.Expr, List[int]] = {}
+    position = {node: k for k, node in enumerate(compute)}
+    for node in compute:
+        for child in node.children():
+            if child in position:
+                consumers.setdefault(child, []).append(position[node])
+    root_set = set(roots)
+    max_live = 0
+    live: Set[E.Expr] = set()
+    for k, node in enumerate(compute):
+        for child in node.children():
+            if child in live and consumers.get(child) and \
+                    max(consumers[child]) <= k and child not in root_set:
+                live.discard(child)
+        live.add(node)
+        max_live = max(max_live, len(live))
+
+    sram_reads: Set[str] = set()
+    reg_reads: Set[str] = set()
+    scan_roots = list(roots)
+    for counter in leaf.chain.counters:
+        scan_roots.extend((counter.lo, counter.hi))
+    for root in scan_roots:
+        for node in E.postorder(root):
+            if isinstance(node, E.Load):
+                if isinstance(node.array, Sram):
+                    sram_reads.add(node.array.name)
+                elif isinstance(node.array, Reg):
+                    reg_reads.add(node.array.name)
+
+    vector_writes = 0
+    scalar_writes = 0
+    reduction_stages = 0
+    lanes = leaf.chain.inner_par
+    for stmt in leaf.stmts:
+        if isinstance(stmt, WriteStmt):
+            if isinstance(stmt.mem, Reg):
+                scalar_writes += 1
+            else:
+                vector_writes += 1
+        elif isinstance(stmt, ReduceStmt):
+            scalar_writes += stmt.width
+            if lanes > 1:
+                # log2(lanes) tree levels plus one accumulation stage
+                reduction_stages = max(reduction_stages,
+                                       max(1, lanes.bit_length() - 1) + 1)
+            else:
+                reduction_stages = max(reduction_stages, 1)
+        elif isinstance(stmt, HashReduceStmt):
+            vector_writes += 1
+            # on-the-fly combine is one read-modify-write stage
+            reduction_stages = max(reduction_stages, 1)
+        elif isinstance(stmt, EmitStmt):
+            vector_writes += 1
+
+    return StageSchedule(
+        stages=compute,
+        max_live=max(1, max_live),
+        vector_reads=len(sram_reads),
+        vector_writes=max(1, vector_writes),
+        scalar_reads=len(reg_reads) + leaf.chain.depth,
+        scalar_writes=max(scalar_writes, 1),
+        reduction_stages=reduction_stages,
+    )

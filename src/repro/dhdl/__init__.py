@@ -1,0 +1,22 @@
+"""DHDL-style intermediate representation (Section 3.6 of the paper)."""
+
+from repro.dhdl.control import Scheme
+from repro.dhdl.ir import (Counter, CounterChain, DhdlProgram, EmitStmt,
+                           Gather, HashReduceStmt, InnerCompute,
+                           OuterController, ReduceStmt, Scatter, StreamStore,
+                           TileLoad, TileStore, WriteStmt)
+from repro.dhdl.memory import (BankingMode, DramRef, FifoDecl, Memory, Reg,
+                               Sram, is_onchip)
+from repro.dhdl.pretty import format_expr, format_program
+from repro.dhdl.validate import validate
+
+__all__ = [
+    "Scheme",
+    "Counter", "CounterChain", "DhdlProgram", "EmitStmt", "Gather",
+    "HashReduceStmt", "InnerCompute", "OuterController", "ReduceStmt",
+    "Scatter", "StreamStore", "TileLoad", "TileStore", "WriteStmt",
+    "BankingMode", "DramRef", "FifoDecl", "Memory", "Reg", "Sram",
+    "is_onchip",
+    "format_expr", "format_program",
+    "validate",
+]

@@ -1,0 +1,35 @@
+"""Control schemes for DHDL controllers (Section 3.5 of the paper).
+
+Outer controllers schedule their children with one of three protocols:
+
+* ``SEQUENTIAL`` — one data-dependent child active at a time, coordinated
+  with single tokens (loop-carried dependencies).
+* ``PIPELINE`` — coarse-grained pipelining: N tokens in flight, credits for
+  backpressure, intermediate memories M-buffered by producer/consumer
+  distance.
+* ``STREAMING`` — fine-grained pipelining through FIFOs; a child runs when
+  its input FIFOs are non-empty and output FIFOs are non-full.
+
+``INNER`` marks leaf controllers (no children; a dataflow body).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Scheme(enum.Enum):
+    """Controller scheduling protocol."""
+
+    SEQUENTIAL = "sequential"
+    PIPELINE = "pipeline"
+    STREAMING = "streaming"
+    INNER = "inner"
+
+    @property
+    def is_outer(self) -> bool:
+        """True for schemes that coordinate children."""
+        return self is not Scheme.INNER
+
+    def __str__(self):
+        return self.value

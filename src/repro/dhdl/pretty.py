@@ -1,0 +1,111 @@
+"""Human-readable printing of DHDL programs and expressions."""
+
+from __future__ import annotations
+
+from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
+                           OuterController, Scatter, StreamStore,
+                           TileLoad, TileStore)
+from repro.dhdl.ir import (EmitStmt, HashReduceStmt, ReduceStmt, WriteStmt)
+from repro.patterns import expr as E
+
+
+def format_expr(node: E.Expr) -> str:
+    """Render an expression tree as a compact infix string."""
+    if isinstance(node, E.Const):
+        return repr(node.value)
+    if isinstance(node, E.Idx):
+        return node.name
+    if isinstance(node, E.Var):
+        return node.name
+    if isinstance(node, E.Load):
+        idxs = ", ".join(format_expr(i) for i in node.indices)
+        return f"{node.array.name}[{idxs}]" if idxs else node.array.name
+    if isinstance(node, E.BinOp):
+        return (f"({format_expr(node.lhs)} {node.op} "
+                f"{format_expr(node.rhs)})")
+    if isinstance(node, E.UnOp):
+        return f"{node.op}({format_expr(node.operand)})"
+    if isinstance(node, E.Select):
+        return (f"sel({format_expr(node.cond)}, "
+                f"{format_expr(node.if_true)}, "
+                f"{format_expr(node.if_false)})")
+    return repr(node)
+
+
+def _format_stmt(stmt) -> str:
+    if isinstance(stmt, WriteStmt):
+        addr = ", ".join(format_expr(a) for a in stmt.addr)
+        return f"{stmt.mem.name}[{addr}] = {format_expr(stmt.value)}"
+    if isinstance(stmt, ReduceStmt):
+        parts = ", ".join(
+            f"{m.name} (+)= {format_expr(v)}"
+            for m, v in zip(stmt.mems, stmt.values))
+        return parts + (" [carry]" if stmt.carry else "")
+    if isinstance(stmt, EmitStmt):
+        return (f"emit {format_expr(stmt.value)} to {stmt.fifo.name} "
+                f"when {format_expr(stmt.cond)}")
+    if isinstance(stmt, HashReduceStmt):
+        return (f"{stmt.mem.name}[{format_expr(stmt.key)}] (+)= "
+                f"{format_expr(stmt.value)}")
+    return repr(stmt)
+
+
+def _chain_str(chain) -> str:
+    if chain is None:
+        return ""
+    parts = []
+    for counter, idx in zip(chain.counters, chain.indices):
+        extent = counter.static_extent
+        span = str(extent) if extent is not None else "?"
+        suffix = f" par {counter.par}" if counter.par > 1 else ""
+        parts.append(f"{idx.name}<{span}{suffix}>")
+    return " (" + ", ".join(parts) + ")"
+
+
+def format_program(program: DhdlProgram) -> str:
+    """Render the controller tree with memories and bodies."""
+    lines = [f"dhdl {program.name}:"]
+    for sram in program.srams:
+        lines.append(f"  sram {sram.name} {list(sram.shape)} "
+                     f"{sram.banking} nbuf={sram.nbuf}")
+    for reg in program.regs:
+        lines.append(f"  reg {reg.name}")
+    for fifo in program.fifos:
+        lines.append(f"  fifo {fifo.name} depth={fifo.depth}")
+
+    def _walk(ctrl, depth):
+        pad = "  " * (depth + 1)
+        if isinstance(ctrl, OuterController):
+            lines.append(f"{pad}{ctrl.scheme} {ctrl.name}"
+                         f"{_chain_str(ctrl.chain)}:")
+            for child in ctrl.children:
+                _walk(child, depth + 1)
+        elif isinstance(ctrl, InnerCompute):
+            lines.append(f"{pad}inner {ctrl.name}{_chain_str(ctrl.chain)}:")
+            for stmt in ctrl.stmts:
+                lines.append(f"{pad}  {_format_stmt(stmt)}")
+        elif isinstance(ctrl, TileLoad):
+            offs = ", ".join(format_expr(o) for o in ctrl.offsets)
+            lines.append(f"{pad}load {ctrl.dram.name}[{offs}] tile"
+                         f"{list(ctrl.tile_shape)} -> {ctrl.sram.name}")
+        elif isinstance(ctrl, TileStore):
+            offs = ", ".join(format_expr(o) for o in ctrl.offsets)
+            lines.append(f"{pad}store {ctrl.sram.name} -> "
+                         f"{ctrl.dram.name}[{offs}] tile"
+                         f"{list(ctrl.tile_shape)}")
+        elif isinstance(ctrl, StreamStore):
+            lines.append(f"{pad}stream {ctrl.fifo.name} -> "
+                         f"{ctrl.dram.name} (count -> "
+                         f"{ctrl.count_reg.name}"
+                         f"{', accumulate' if ctrl.accumulate else ''})")
+        elif isinstance(ctrl, Gather):
+            lines.append(f"{pad}gather {ctrl.dram.name}"
+                         f"[{ctrl.addr_sram.name}] -> {ctrl.dst_sram.name}")
+        elif isinstance(ctrl, Scatter):
+            lines.append(f"{pad}scatter {ctrl.val_sram.name} -> "
+                         f"{ctrl.dram.name}[{ctrl.addr_sram.name}]")
+        else:
+            lines.append(f"{pad}{ctrl!r}")
+
+    _walk(program.root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Structural validation of DHDL programs.
+
+Run after lowering and before mapping; raises
+:class:`~repro.errors.IRError` with a precise message on the first
+violation.  Checks:
+
+* controller tree shape (outer schemes, non-empty children, leaf bodies);
+* every on-chip memory read somewhere is written somewhere;
+* inner bodies only read on-chip memories (DRAM goes through transfers);
+* counter chains are well-formed and referenced indices are in scope;
+* streaming children communicate only through FIFOs.
+"""
+
+from __future__ import annotations
+
+from repro.dhdl.control import Scheme
+from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
+                           OuterController, Scatter, TileLoad, TileStore)
+from repro.dhdl.memory import DramRef, FifoDecl, Reg, Sram
+from repro.errors import IRError
+from repro.patterns import expr as E
+
+
+def _in_scope_indices(ctrl):
+    """Indices visible to a controller: its own chain + ancestors'."""
+    scope = set()
+    node = ctrl
+    while node is not None:
+        chain = getattr(node, "chain", None)
+        if chain is not None:
+            scope.update(chain.indices)
+        node = node.parent
+    return scope
+
+
+def _check_expr_scope(root, scope, where: str):
+    for node in E.postorder(root):
+        if isinstance(node, E.Idx) and node not in scope:
+            raise IRError(f"{where}: index {node.name!r} is out of scope")
+        if isinstance(node, E.Load) and isinstance(node.array, DramRef):
+            raise IRError(
+                f"{where}: direct DRAM read of {node.array.name!r}; "
+                f"DRAM is only reachable through transfer nodes")
+
+
+def _writers_map(program: DhdlProgram):
+    writers = {}
+    for leaf in program.leaves():
+        if isinstance(leaf, InnerCompute):
+            for stmt in leaf.stmts:
+                for target in getattr(stmt, "targets", (stmt.target,)):
+                    writers.setdefault(target, []).append(leaf)
+        elif isinstance(leaf, TileLoad):
+            writers.setdefault(leaf.sram, []).append(leaf)
+        elif isinstance(leaf, Gather):
+            writers.setdefault(leaf.dst_sram, []).append(leaf)
+    return writers
+
+
+def validate(program: DhdlProgram) -> None:
+    """Validate the whole program; raise IRError on the first problem."""
+    writers = _writers_map(program)
+
+    for ctrl in program.controllers():
+        if isinstance(ctrl, OuterController):
+            if not ctrl.children:
+                raise IRError(f"outer controller {ctrl.name!r} has no "
+                              f"children")
+            if ctrl.scheme is Scheme.STREAMING:
+                _check_streaming(ctrl)
+            continue
+        scope = _in_scope_indices(ctrl)
+        if isinstance(ctrl, InnerCompute):
+            _check_inner(ctrl, scope, writers)
+        elif isinstance(ctrl, (TileLoad, TileStore)):
+            for off in ctrl.offsets:
+                _check_expr_scope(off, scope, f"{ctrl.name} offset")
+            _check_tile_bounds(ctrl)
+        elif isinstance(ctrl, (Gather, Scatter)):
+            pass  # address/value tiles validated via writer check below
+
+    # every on-chip memory read must have a writer
+    for leaf in program.leaves():
+        if isinstance(leaf, InnerCompute):
+            for mem in leaf.memories_read():
+                if isinstance(mem, Reg) and mem.init is not None:
+                    continue
+                if mem not in writers:
+                    raise IRError(
+                        f"{leaf.name!r} reads {mem.name!r} which nothing "
+                        f"writes")
+        elif isinstance(leaf, TileStore):
+            if leaf.sram not in writers:
+                raise IRError(
+                    f"{leaf.name!r} stores {leaf.sram.name!r} which "
+                    f"nothing writes")
+        elif isinstance(leaf, (Gather, Scatter)):
+            if leaf.addr_sram not in writers:
+                raise IRError(
+                    f"{leaf.name!r} uses addresses {leaf.addr_sram.name!r} "
+                    f"which nothing writes")
+            if isinstance(leaf, Scatter) and leaf.val_sram not in writers:
+                raise IRError(
+                    f"{leaf.name!r} scatters values {leaf.val_sram.name!r} "
+                    f"which nothing writes")
+
+
+def _check_inner(ctrl: InnerCompute, scope, writers):
+    chain = ctrl.chain
+    if chain.depth == 0:
+        raise IRError(f"{ctrl.name!r} has an empty counter chain")
+    for counter in chain.counters:
+        _check_expr_scope(counter.lo, scope, f"{ctrl.name} counter lo")
+        _check_expr_scope(counter.hi, scope, f"{ctrl.name} counter hi")
+    for stmt in ctrl.stmts:
+        for root in stmt.exprs():
+            _check_expr_scope(root, scope, f"{ctrl.name} body")
+
+
+def _check_tile_bounds(ctrl):
+    for tile_dim, dram_dim in zip(ctrl.tile_shape, ctrl.dram.shape):
+        if isinstance(dram_dim, int) and tile_dim > dram_dim:
+            raise IRError(
+                f"{ctrl.name!r}: tile extent {tile_dim} exceeds DRAM "
+                f"extent {dram_dim}")
+
+
+def _check_streaming(ctrl: OuterController):
+    """Streaming siblings may only exchange data through FIFOs."""
+    produced = {}
+    for child in ctrl.children:
+        if isinstance(child, InnerCompute):
+            for stmt in child.stmts:
+                produced[stmt.target] = child
+    for child in ctrl.children:
+        if not isinstance(child, InnerCompute):
+            continue
+        for mem in child.memories_read():
+            owner = produced.get(mem)
+            if owner is not None and owner is not child and not isinstance(
+                    mem, FifoDecl):
+                raise IRError(
+                    f"streaming children {owner.name!r} -> {child.name!r} "
+                    f"must communicate through FIFOs, not "
+                    f"{type(mem).__name__} {mem.name!r}")

@@ -1,0 +1,75 @@
+"""DRAM bank state machine: open row tracking and timing enforcement."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.timing import DdrTiming
+from repro.errors import DramProtocolError
+
+
+class Bank:
+    """One DRAM bank: at most one open row, busy windows between commands.
+
+    The bank exposes ``access_latency`` (what a request issued *now* would
+    cost) and ``issue`` (commit to servicing it), enforcing tRCD/tRP/tRAS
+    windows.  Time is the caller's monotonically non-decreasing cycle.
+    """
+
+    def __init__(self, timing: DdrTiming):
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        #: cycle until which the bank's command machinery is busy
+        self.ready_at: int = 0
+        #: cycle the current row was activated (for tRAS)
+        self.activated_at: int = 0
+        self.hits = 0
+        self.misses = 0
+        self.empties = 0
+
+    def is_hit(self, row: int) -> bool:
+        """Would this row be a row-buffer hit right now?"""
+        return self.open_row == row
+
+    def access_latency(self, row: int, now: int) -> int:
+        """Cycles from ``now`` until data for ``row`` finishes bursting."""
+        start = max(now, self.ready_at)
+        timing = self.timing
+        if self.open_row == row:
+            return (start - now) + timing.row_hit_latency
+        if self.open_row is None:
+            return (start - now) + timing.row_empty_latency
+        # row conflict: honour minimum row-open time before precharge
+        earliest_pre = max(start,
+                           self.activated_at + timing.t_ras)
+        return (earliest_pre - now) + timing.row_miss_latency
+
+    def issue(self, row: int, now: int, is_write: bool) -> int:
+        """Commit a column access to ``row``; returns completion cycle."""
+        if now < 0:
+            raise DramProtocolError("negative cycle")
+        start = max(now, self.ready_at)
+        timing = self.timing
+        if self.open_row == row:
+            self.hits += 1
+            done = start + timing.row_hit_latency
+            busy = start + timing.t_ccd
+        elif self.open_row is None:
+            self.empties += 1
+            self.activated_at = start
+            done = start + timing.row_empty_latency
+            busy = start + timing.t_rcd + timing.t_ccd
+        else:
+            self.misses += 1
+            earliest_pre = max(start, self.activated_at + timing.t_ras)
+            self.activated_at = earliest_pre + timing.t_rp
+            done = earliest_pre + timing.row_miss_latency
+            busy = self.activated_at + timing.t_rcd + timing.t_ccd
+        if is_write:
+            busy += timing.t_wr - timing.t_ccd
+        self.open_row = row
+        self.ready_at = busy
+        return done
+
+    def __repr__(self):
+        return f"Bank(open_row={self.open_row}, ready_at={self.ready_at})"

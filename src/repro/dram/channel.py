@@ -1,0 +1,109 @@
+"""One DRAM channel: request queue, FR-FCFS scheduling, shared data bus."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram.bank import Bank
+from repro.dram.request import DramRequest
+from repro.dram.timing import DdrTiming, DramGeometry
+from repro.errors import DramProtocolError
+
+
+class Channel:
+    """A DDR3 channel with per-bank state and an FR-FCFS scheduler.
+
+    Each tick the scheduler issues at most one request: among queued
+    requests whose bank could start immediately, row-buffer *hits* win,
+    ties broken by age (First-Ready, First-Come-First-Served).  The data
+    bus serialises bursts: a burst may not start before the previous one
+    finished.
+    """
+
+    def __init__(self, timing: DdrTiming, geometry: DramGeometry,
+                 queue_depth: int = 64):
+        self.timing = timing
+        self.geometry = geometry
+        self.queue_depth = queue_depth
+        self.banks = [Bank(timing) for _ in range(geometry.banks_per_channel)]
+        self.queue: List[DramRequest] = []
+        self.bus_free_at = 0
+        self.completed: List[DramRequest] = []
+        self.bytes_moved = 0
+        #: recent row-activation times, for the tFAW window
+        self._activates: List[int] = []
+
+    # -- interface ------------------------------------------------------------
+    def can_accept(self) -> bool:
+        """Queue has room for another request."""
+        return len(self.queue) < self.queue_depth
+
+    def submit(self, request: DramRequest, now: int) -> None:
+        """Enqueue a request (caller must have checked ``can_accept``)."""
+        if not self.can_accept():
+            raise DramProtocolError("channel queue overflow")
+        request.arrival_cycle = now
+        self.queue.append(request)
+
+    def tick(self, now: int) -> None:
+        """Advance one cycle: maybe issue one request to a bank."""
+        if not self.queue:
+            return
+        choice = self._schedule(now)
+        if choice is None:
+            return
+        self.queue.remove(choice)
+        _, bank_id, row, _ = self.geometry.map_address(choice.byte_addr)
+        bank = self.banks[bank_id]
+        if not bank.is_hit(row):
+            self._activates.append(now)
+        done = bank.issue(row, now, choice.is_write)
+        # serialise the data bus: burst occupies t_burst ending at `done`
+        burst_start = done - self.timing.t_burst
+        if burst_start < self.bus_free_at:
+            shift = self.bus_free_at - burst_start
+            done += shift
+        self.bus_free_at = done
+        choice.complete_cycle = done
+        self.bytes_moved += self.geometry.burst_bytes
+        self.completed.append(choice)
+
+    def _schedule(self, now: int) -> Optional[DramRequest]:
+        """FR-FCFS: oldest row hit, else oldest request whose bank is
+        ready soonest."""
+        window = self.timing.t_faw
+        self._activates = [t for t in self._activates if t > now - window]
+        faw_full = len(self._activates) >= 4
+        best = None
+        best_key = None
+        for request in self.queue:
+            _, bank_id, row, _ = self.geometry.map_address(request.byte_addr)
+            bank = self.banks[bank_id]
+            if bank.ready_at > now + self.timing.t_ccd * 4:
+                continue  # bank deeply busy; skip this cycle
+            hit = bank.is_hit(row)
+            if not hit and faw_full:
+                continue  # would need an activate; tFAW window exhausted
+            key = (0 if hit else 1, request.arrival_cycle, request.req_id)
+            if best_key is None or key < best_key:
+                best, best_key = request, key
+        return best
+
+    def drain_completed(self) -> List[DramRequest]:
+        """Return and clear the completed-request list."""
+        done, self.completed = self.completed, []
+        return done
+
+    @property
+    def pending(self) -> int:
+        """Requests still queued."""
+        return len(self.queue)
+
+    def stats(self) -> dict:
+        """Aggregate bank statistics."""
+        return {
+            "row_hits": sum(b.hits for b in self.banks),
+            "row_misses": sum(b.misses for b in self.banks),
+            "row_empties": sum(b.empties for b in self.banks),
+            "bytes": self.bytes_moved,
+        }

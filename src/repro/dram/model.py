@@ -1,0 +1,113 @@
+"""The full memory system: channels + address mapping + statistics.
+
+This is the DRAMSim2 substitute: the fabric simulator submits 64-byte
+burst requests and receives completions with cycle-accurate-in-shape
+latencies (row hits/misses, bank parallelism, bus serialisation, channel
+interleaving).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.dram.channel import Channel
+from repro.dram.request import DramRequest
+from repro.dram.timing import (DDR3_1600, DEFAULT_GEOMETRY, DdrTiming,
+                               DramGeometry)
+
+
+class DramModel:
+    """Multi-channel DDR3 memory system.
+
+    Usage: ``submit`` burst requests (checking ``can_accept`` per
+    channel), call ``tick`` once per core cycle, and consume completions
+    via the optional per-request callback or ``drain_completed``.
+    """
+
+    def __init__(self, timing: DdrTiming = DDR3_1600,
+                 geometry: DramGeometry = DEFAULT_GEOMETRY,
+                 queue_depth: int = 64):
+        self.timing = timing
+        self.geometry = geometry
+        self.channels = [Channel(timing, geometry, queue_depth)
+                         for _ in range(geometry.channels)]
+        self.cycle = 0
+        self.reads = 0
+        self.writes = 0
+        self._callbacks: Dict[int, Callable[[DramRequest], None]] = {}
+        self._completed: List[DramRequest] = []
+
+    # -- submission -------------------------------------------------------------
+    def channel_of(self, byte_addr: int) -> int:
+        """Channel index servicing a byte address."""
+        return self.geometry.map_address(byte_addr)[0]
+
+    def can_accept(self, byte_addr: int) -> bool:
+        """True when the owning channel queue has room."""
+        return self.channels[self.channel_of(byte_addr)].can_accept()
+
+    def submit(self, request: DramRequest,
+               callback: Optional[Callable[[DramRequest], None]] = None
+               ) -> None:
+        """Enqueue one burst request."""
+        channel = self.channels[self.channel_of(request.byte_addr)]
+        channel.submit(request, self.cycle)
+        if request.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if callback is not None:
+            self._callbacks[request.req_id] = callback
+
+    # -- time -------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance the memory system one core cycle."""
+        self.cycle += 1
+        for channel in self.channels:
+            channel.tick(self.cycle)
+            for request in channel.drain_completed():
+                self._completed.append(request)
+
+    def deliver(self) -> List[DramRequest]:
+        """Requests whose data transfer has finished by the current cycle.
+
+        Completions are buffered until their ``complete_cycle`` passes,
+        then returned (and callbacks fired) exactly once.
+        """
+        ready = [r for r in self._completed
+                 if r.complete_cycle <= self.cycle]
+        self._completed = [r for r in self._completed
+                           if r.complete_cycle > self.cycle]
+        for request in ready:
+            callback = self._callbacks.pop(request.req_id, None)
+            if callback is not None:
+                callback(request)
+        return ready
+
+    @property
+    def idle(self) -> bool:
+        """True when no work is queued or in flight."""
+        return (not self._completed
+                and all(not c.queue for c in self.channels))
+
+    @property
+    def pending(self) -> int:
+        """Requests queued across all channels plus undelivered ones."""
+        return (sum(c.pending for c in self.channels)
+                + len(self._completed))
+
+    def stats(self) -> dict:
+        """Aggregate statistics across channels."""
+        total = {"reads": self.reads, "writes": self.writes,
+                 "row_hits": 0, "row_misses": 0, "row_empties": 0,
+                 "bytes": 0}
+        for channel in self.channels:
+            for key, value in channel.stats().items():
+                total[key] += value
+        return total
+
+    def achieved_gbps(self) -> float:
+        """Average achieved bandwidth so far (GB/s at 1 GHz)."""
+        if self.cycle == 0:
+            return 0.0
+        return self.stats()["bytes"] / self.cycle  # bytes/ns == GB/s

@@ -1,0 +1,86 @@
+"""DDR3-1600 timing parameters, expressed in 1 GHz core cycles.
+
+The paper simulates with DRAMSim2 configured as 4x DDR3-1600 (51.2 GB/s
+peak).  We keep the first-order DDR3 state machine: row activate
+(RAS-to-CAS), column access (CAS latency), precharge on row conflicts,
+burst transfers occupying the data bus, and a minimum row-open time.
+
+DDR3-1600 runs its bus at 800 MHz; a burst of 8 moves 64 bytes in 5 ns.
+At a 1 GHz core clock one nanosecond is one cycle, so the JEDEC numbers
+round to the integers below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DdrTiming:
+    """DDR3 timing constraints in core (1 ns) cycles."""
+
+    #: RAS-to-CAS delay: activate -> column command
+    t_rcd: int = 11
+    #: CAS latency: column command -> first data
+    t_cas: int = 11
+    #: precharge: close row -> ready to activate
+    t_rp: int = 11
+    #: minimum row open time: activate -> precharge
+    t_ras: int = 28
+    #: data-bus occupancy of one 64-byte burst
+    t_burst: int = 5
+    #: column-to-column command spacing
+    t_ccd: int = 5
+    #: write recovery before precharging a written row
+    t_wr: int = 12
+    #: four-activate window: at most 4 row activations per rank per t_faw
+    t_faw: int = 30
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Command-to-data latency when the row is already open."""
+        return self.t_cas + self.t_burst
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Latency when another row is open (precharge + activate)."""
+        return self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+
+    @property
+    def row_empty_latency(self) -> int:
+        """Latency when the bank is idle (activate only)."""
+        return self.t_rcd + self.t_cas + self.t_burst
+
+
+DDR3_1600 = DdrTiming()
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Address-mapping geometry for the simulated memory system."""
+
+    channels: int = 4
+    banks_per_channel: int = 8
+    #: row size in bytes (8 KB rows: 1 KB per chip x 8 chips)
+    row_bytes: int = 8192
+    burst_bytes: int = 64
+
+    def map_address(self, byte_addr: int):
+        """Map a physical byte address to (channel, bank, row, col_burst).
+
+        Bursts are interleaved across channels first (maximises channel
+        parallelism for streams), then across banks, then rows — the
+        standard DRAMSim2 ``scheme2``-style mapping.
+        """
+        burst = byte_addr // self.burst_bytes
+        channel = burst % self.channels
+        burst //= self.channels
+        bank = burst % self.banks_per_channel
+        burst //= self.banks_per_channel
+        bursts_per_row = self.row_bytes // self.burst_bytes
+        col = burst % bursts_per_row
+        row = burst // bursts_per_row
+        return channel, bank, row, col
+
+
+DEFAULT_GEOMETRY = DramGeometry()

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Plasticine reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+distinguish library failures from programming errors in user code.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PatternError(ReproError):
+    """Malformed parallel pattern (bad domain, bad function arity, ...)."""
+
+
+class TraceError(PatternError):
+    """A user function could not be traced into the symbolic expression IR."""
+
+
+class IRError(ReproError):
+    """Malformed DHDL IR (dangling references, invalid nesting, ...)."""
+
+
+class LoweringError(ReproError):
+    """Pattern-to-DHDL lowering failed."""
+
+
+class MappingError(ReproError):
+    """The compiler could not map a design onto the fabric.
+
+    Raised by partitioning (virtual unit does not fit any physical unit
+    shape), placement (not enough units), or routing (link capacity
+    exhausted).
+    """
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent unit configuration ("bitstream")."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No unit made progress for the configured watchdog interval."""
+
+
+class DramProtocolError(SimulationError):
+    """A DRAM command violated DDR3 timing or state rules."""
+
+
+class ArchError(ReproError):
+    """Invalid architecture parameters (out of Table 3 ranges, ...)."""
+
+
+class EvalError(ReproError):
+    """An evaluation harness (table/figure regeneration) failed."""

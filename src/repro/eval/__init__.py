@@ -1,0 +1,13 @@
+"""Regeneration of every table and figure in the paper's evaluation."""
+
+from repro.eval import figure7, table3, table5, table6, table7
+from repro.eval.paper_data import (HEADLINE, TABLE3_FINAL, TABLE5, TABLE6_CUMULATIVE,
+                                   TABLE6_STEP_A, TABLE7, TABLE7_UTIL)
+from repro.eval.report import format_table
+
+__all__ = [
+    "figure7", "table3", "table5", "table6", "table7",
+    "HEADLINE", "TABLE3_FINAL", "TABLE5", "TABLE6_CUMULATIVE",
+    "TABLE6_STEP_A", "TABLE7", "TABLE7_UTIL",
+    "format_table",
+]

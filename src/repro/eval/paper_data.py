@@ -1,0 +1,101 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Transcribed from the ISCA 2017 paper; used only for reporting (we print
+paper-vs-measured in EXPERIMENTS.md and the benchmark harnesses), never
+as model inputs.
+"""
+
+from __future__ import annotations
+
+#: Table 5 (area breakdown, mm^2 at 28 nm)
+TABLE5 = {
+    "pcu_total": 0.849,
+    "pcu_fus": 0.622,
+    "pcu_registers": 0.144,
+    "pcu_fifos": 0.082,
+    "pcu_control": 0.001,
+    "pmu_total": 0.532,
+    "pmu_scratchpad": 0.477,
+    "pmu_fifos": 0.024,
+    "pmu_registers": 0.023,
+    "pmu_fus": 0.007,
+    "pmu_control": 0.001,
+    "interconnect": 18.796,
+    "memory_controller": 5.616,
+    "chip_total": 112.796,
+}
+
+#: Section 4.2 headline numbers
+HEADLINE = {
+    "peak_tflops": 12.3,
+    "onchip_mb": 16.0,
+    "max_power_w": 49.0,
+    "clock_ghz": 1.0,
+}
+
+#: Table 7 — per-benchmark: (FPGA power W, Plasticine power W,
+#: performance ratio, perf-per-watt ratio)
+TABLE7 = {
+    "innerproduct": (21.8, 18.9, 1.4, 1.6),
+    "outerproduct": (24.4, 26.9, 6.7, 6.1),
+    "blackscholes": (28.3, 24.7, 5.1, 5.8),
+    "tpchq6": (21.7, 20.5, 1.4, 1.5),
+    "gemm": (25.6, 34.6, 33.0, 24.4),
+    "gda": (26.5, 41.0, 40.0, 25.9),
+    "logreg": (22.9, 28.6, 11.4, 9.2),
+    "sgd": (25.6, 10.7, 6.7, 15.9),
+    "kmeans": (23.9, 12.9, 6.1, 11.3),
+    "cnn": (34.4, 42.6, 95.1, 76.9),
+    "smdv": (21.5, 19.3, 8.3, 9.3),
+    "pagerank": (21.9, 17.1, 14.2, 18.2),
+    "bfs": (21.9, 14.0, 7.3, 11.4),
+}
+
+#: Table 7 — Plasticine utilization % (PCU, PMU, AG)
+TABLE7_UTIL = {
+    "innerproduct": (17.2, 25.0, 47.1),
+    "outerproduct": (15.6, 46.9, 88.2),
+    "blackscholes": (65.6, 21.9, 41.2),
+    "tpchq6": (28.1, 25.0, 47.1),
+    "gemm": (34.4, 68.8, 97.1),
+    "gda": (89.1, 87.5, 44.1),
+    "logreg": (51.6, 68.8, 8.8),
+    "sgd": (6.3, 9.4, 8.8),
+    "kmeans": (10.9, 17.2, 8.8),
+    "cnn": (48.9, 98.4, 100.0),
+    "smdv": (43.8, 15.6, 29.4),
+    "pagerank": (28.1, 20.3, 20.6),
+    "bfs": (18.8, 15.6, 11.8),
+}
+
+#: Table 6 — cumulative area overheads (column e, i.e. overall
+#: generalized-architecture vs ASIC) per benchmark
+TABLE6_CUMULATIVE = {
+    "innerproduct": 13.18,
+    "outerproduct": 5.95,
+    "blackscholes": 4.46,
+    "tpchq6": 14.32,
+    "gemm": 3.92,
+    "gda": 14.38,
+    "logreg": 5.20,
+    "sgd": 21.98,
+    "kmeans": 9.42,
+    "smdv": 36.73,
+    "pagerank": 42.83,
+    "bfs": 10.70,
+}
+
+#: Table 6 — step (a) reconfigurable-vs-ASIC overheads per benchmark
+TABLE6_STEP_A = {
+    "innerproduct": 2.64, "outerproduct": 1.54, "blackscholes": 2.05,
+    "tpchq6": 2.26, "gemm": 1.63, "gda": 1.95, "logreg": 1.55,
+    "sgd": 7.67, "kmeans": 2.81, "smdv": 5.03, "pagerank": 7.14,
+    "bfs": 2.91,
+}
+
+#: Table 3 — final architecture parameters
+TABLE3_FINAL = {
+    "lanes": 16, "stages": 6, "regs_per_stage": 6, "scalar_in": 6,
+    "scalar_out": 5, "vector_in": 3, "vector_out": 3, "bank_kb": 16,
+    "banks": 16, "pmu_stages": 4, "pcus": 64, "pmus": 64,
+}

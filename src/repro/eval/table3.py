@@ -1,0 +1,78 @@
+"""Table 3 regeneration: design space and the selected parameters.
+
+The ranges come straight from :data:`repro.arch.params.DESIGN_SPACE`;
+the "selected" column is re-derived by running the Figure 7 sweeps and
+taking the overhead-minimising value for each PCU parameter (with the
+paper's tie-breaking choices noted where the curve is flat).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.arch.params import DEFAULT, DESIGN_SPACE
+from repro.eval.figure7 import SWEEPS, best_value, sweep
+from repro.eval.paper_data import TABLE3_FINAL
+from repro.eval.report import format_table
+
+
+def generate(scale: str = "tiny",
+             run_sweeps: bool = True) -> Dict[str, Dict]:
+    """Ranges, paper-selected values, and (optionally) re-derived
+    optima per PCU parameter."""
+    rows: Dict[str, Dict] = {}
+    derived: Dict[str, Optional[int]] = {}
+    if run_sweeps:
+        for key, (param, values) in SWEEPS.items():
+            curves = sweep(param, values, scale=scale)
+            derived[param] = best_value(curves)
+        from repro.eval.figure7 import pmu_sweep, select_bank_kb
+        derived["bank_kb"] = select_bank_kb(pmu_sweep())
+    final = {
+        "lanes": DEFAULT.pcu.lanes,
+        "stages": DEFAULT.pcu.stages,
+        "regs_per_stage": DEFAULT.pcu.regs_per_stage,
+        "scalar_in": DEFAULT.pcu.scalar_in,
+        "scalar_out": DEFAULT.pcu.scalar_out,
+        "vector_in": DEFAULT.pcu.vector_in,
+        "vector_out": DEFAULT.pcu.vector_out,
+        "bank_kb": DEFAULT.pmu.bank_kb,
+        "banks": DEFAULT.pmu.banks,
+        "pmu_stages": DEFAULT.pmu.stages,
+        "pcus": DEFAULT.num_pcus,
+        "pmus": DEFAULT.num_pmus,
+    }
+    range_of = {
+        "lanes": DESIGN_SPACE["pcu_lanes"],
+        "stages": DESIGN_SPACE["pcu_stages"],
+        "regs_per_stage": DESIGN_SPACE["pcu_regs_per_stage"],
+        "scalar_in": DESIGN_SPACE["pcu_scalar_in"],
+        "scalar_out": DESIGN_SPACE["pcu_scalar_out"],
+        "vector_in": DESIGN_SPACE["pcu_vector_in"],
+        "vector_out": DESIGN_SPACE["pcu_vector_out"],
+        "bank_kb": DESIGN_SPACE["pmu_bank_kb"],
+    }
+    for name, value in final.items():
+        rows[name] = {
+            "range": range_of.get(name, "-"),
+            "selected": value,
+            "paper": TABLE3_FINAL.get(name),
+            "rederived": derived.get(name),
+        }
+    return rows
+
+
+def render(rows: Dict[str, Dict]) -> str:
+    """Paper-style parameter table."""
+    headers = ["parameter", "range", "selected", "paper", "re-derived"]
+    body = []
+    for name, row in rows.items():
+        rng = row["range"]
+        rng_str = (f"{min(rng)}..{max(rng)}"
+                   if isinstance(rng, tuple) else str(rng))
+        body.append([name, rng_str, row["selected"],
+                     row["paper"] if row["paper"] is not None else "-",
+                     row["rederived"] if row["rederived"] is not None
+                     else "-"])
+    return format_table(headers, body,
+                        title="Table 3: design space and selection")

@@ -1,0 +1,50 @@
+"""Table 5 regeneration: the Plasticine area breakdown."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arch.area import chip_area, pcu_breakdown, pmu_breakdown
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.arch.power import max_chip_power
+from repro.eval.paper_data import HEADLINE, TABLE5
+from repro.eval.report import format_table
+
+
+def generate(params: PlasticineParams = DEFAULT) -> Dict[str, float]:
+    """Compute every Table 5 entry plus the Section 4.2 headlines."""
+    chip = chip_area(params)
+    pcu = pcu_breakdown(params.pcu)
+    pmu = pmu_breakdown(params.pmu)
+    return {
+        "pcu_total": chip.pcu_each,
+        "pcu_fus": pcu["FUs"],
+        "pcu_registers": pcu["Registers"],
+        "pcu_fifos": pcu["FIFOs"],
+        "pcu_control": pcu["Control"],
+        "pmu_total": chip.pmu_each,
+        "pmu_scratchpad": pmu["Scratchpad"],
+        "pmu_fifos": pmu["FIFOs"],
+        "pmu_registers": pmu["Registers"],
+        "pmu_fus": pmu["FUs"],
+        "pmu_control": pmu["Control"],
+        "interconnect": chip.interconnect,
+        "memory_controller": chip.memory_controller,
+        "chip_total": chip.total,
+        "peak_tflops": params.peak_tflops,
+        "onchip_mb": params.onchip_mb,
+        "max_power_w": max_chip_power(params),
+    }
+
+
+def render(measured: Dict[str, float]) -> str:
+    """Side-by-side paper vs measured."""
+    rows: List[Tuple] = []
+    for key, paper_value in TABLE5.items():
+        rows.append((key, f"{measured[key]:.3f}", f"{paper_value:.3f}"))
+    for key, paper_value in HEADLINE.items():
+        if key in measured:
+            rows.append((key, f"{measured[key]:.2f}",
+                         f"{paper_value:.2f}"))
+    return format_table(("component", "measured", "paper"), rows,
+                        title="Table 5: area breakdown (mm^2)")

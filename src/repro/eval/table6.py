@@ -1,0 +1,66 @@
+"""Table 6 regeneration: area overheads of the generalization ladder.
+
+For each benchmark we compile (to get the virtual-unit requirements) and
+run the homogenization ladder of :mod:`repro.arch.asic`: heterogeneous
+reconfigurable units (a), homogeneous PMUs (b), homogeneous PCUs (c),
+application-generalized PMUs (d) and PCUs (e), each relative to a
+benchmark-specific ASIC estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps import ALL_APPS, App
+from repro.arch.asic import overhead_table
+from repro.compiler import compile_program
+from repro.eval.paper_data import TABLE6_CUMULATIVE, TABLE6_STEP_A
+from repro.eval.report import format_table
+
+#: the paper's Table 6 covers 12 benchmarks (CNN excluded)
+TABLE6_APPS = [a for a in ALL_APPS if a.name != "cnn"]
+
+
+def generate(scale: str = "small",
+             apps: Optional[List[App]] = None) -> Dict[str, Dict]:
+    """Per-benchmark successive and cumulative overheads."""
+    results = {}
+    for app in (apps or TABLE6_APPS):
+        compiled = compile_program(app.build(scale))
+        results[app.name] = overhead_table(compiled.requirements)
+    return results
+
+
+def geomean(values) -> float:
+    """Geometric mean."""
+    values = list(values)
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def render(results: Dict[str, Dict]) -> str:
+    """Paper-style table with cumulative values in parentheses."""
+    headers = ["Benchmark", "a", "b (cum)", "c (cum)", "d (cum)",
+               "e (cum)", "paper a", "paper e cum"]
+    rows = []
+    for name, t in results.items():
+        rows.append([
+            name, f"{t['a']:.2f}",
+            f"{t['b']:.2f} ({t['b_cum']:.2f})",
+            f"{t['c']:.2f} ({t['c_cum']:.2f})",
+            f"{t['d']:.2f} ({t['d_cum']:.2f})",
+            f"{t['e']:.2f} ({t['e_cum']:.2f})",
+            f"{TABLE6_STEP_A.get(name, 0):.2f}",
+            f"{TABLE6_CUMULATIVE.get(name, 0):.2f}",
+        ])
+    rows.append([
+        "GeoMean",
+        f"{geomean(t['a'] for t in results.values()):.2f}",
+        "", "", "",
+        f"(cum {geomean(t['e_cum'] for t in results.values()):.2f})",
+        "2.77", "(11.46)",
+    ])
+    return format_table(headers, rows,
+                        title="Table 6: generalization overheads vs ASIC")

@@ -1,0 +1,163 @@
+"""Symbolic collections (DRAM-resident arrays) for the pattern frontend.
+
+An :class:`Array` is a named handle with a shape and dtype.  Indexing it with
+symbolic expressions inside a traced function yields a
+:class:`~repro.patterns.expr.Load` node.  Concrete data (a numpy array) may be
+attached for the reference executor and the simulator to read.
+
+Arrays whose length is only known at runtime (outputs of FlatMap) carry a
+:class:`Dyn` extent referring to a 0-d int32 length array.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PatternError
+from repro.patterns import expr as E
+
+
+class Dyn:
+    """A dynamic extent: the value of a 0-d int32 :class:`Array` at runtime.
+
+    Used as a shape element for dynamically sized collections and as a
+    domain extent for patterns that iterate over them.
+    """
+
+    def __init__(self, length_of: "Array"):
+        if length_of.shape != ():
+            raise PatternError(
+                f"Dyn extent must reference a 0-d array, got shape "
+                f"{length_of.shape}")
+        if length_of.dtype != E.INT32:
+            raise PatternError("Dyn extent must reference an int32 scalar")
+        self.length_of = length_of
+
+    def __repr__(self):
+        return f"Dyn({self.length_of.name})"
+
+
+ShapeElem = Union[int, Dyn]
+Shape = Tuple[ShapeElem, ...]
+
+
+def _np_dtype(dtype: str):
+    return {E.FLOAT32: np.float32, E.INT32: np.int32, E.BOOL: np.bool_}[dtype]
+
+
+class Array:
+    """A named, typed, DRAM-resident collection.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a :class:`~repro.patterns.program.Program`.
+    shape:
+        Tuple of static ints and/or :class:`Dyn` extents.  ``()`` denotes a
+        scalar cell (used for reduction results and dynamic lengths).
+    dtype:
+        One of ``float32``, ``int32``, ``bool``.
+    data:
+        Optional concrete numpy array for inputs.
+    max_elems:
+        Upper bound on element count for dynamically sized arrays (used to
+        size DRAM allocation).
+    offchip:
+        When True the compiler must not cache the collection whole in a
+        scratchpad: random reads become DRAM gathers through the
+        coalescing units (the paper's sparse benchmarks).
+    """
+
+    def __init__(self, name: str, shape: Sequence[ShapeElem] = (),
+                 dtype: str = E.FLOAT32,
+                 data: Optional[np.ndarray] = None,
+                 max_elems: Optional[int] = None,
+                 offchip: bool = False):
+        self.offchip = offchip
+        self.name = name
+        self.shape: Shape = tuple(shape)
+        self.dtype = dtype
+        self.max_elems = max_elems
+        for dim in self.shape:
+            if not isinstance(dim, (int, Dyn)):
+                raise PatternError(
+                    f"shape element {dim!r} of {name!r} must be int or Dyn")
+            if isinstance(dim, int) and dim <= 0:
+                raise PatternError(
+                    f"array {name!r} has non-positive extent {dim}")
+        self.data: Optional[np.ndarray] = None
+        if data is not None:
+            self.set_data(data)
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions (0 for a scalar cell)."""
+        return len(self.shape)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when any extent is a :class:`Dyn`."""
+        return any(isinstance(d, Dyn) for d in self.shape)
+
+    def static_elems(self) -> int:
+        """Element count, using ``max_elems`` bounds for dynamic arrays."""
+        if self.is_dynamic:
+            if self.max_elems is None:
+                raise PatternError(
+                    f"dynamic array {self.name!r} needs max_elems")
+            return self.max_elems
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    def bytes(self) -> int:
+        """Storage footprint in bytes (4-byte words throughout)."""
+        return 4 * max(1, self.static_elems())
+
+    # -- data binding ----------------------------------------------------------
+    def set_data(self, data) -> None:
+        """Attach concrete contents, coercing to the declared dtype.
+
+        Static shapes must match exactly; dynamic arrays accept any 1-d
+        array within ``max_elems``.
+        """
+        arr = np.asarray(data, dtype=_np_dtype(self.dtype))
+        if not self.is_dynamic:
+            want = self.shape
+            if arr.shape != want:
+                raise PatternError(
+                    f"data shape {arr.shape} != declared {want} "
+                    f"for array {self.name!r}")
+        elif self.max_elems is not None and arr.size > self.max_elems:
+            raise PatternError(
+                f"data for {self.name!r} exceeds max_elems "
+                f"({arr.size} > {self.max_elems})")
+        self.data = arr
+
+    # -- symbolic indexing -----------------------------------------------------
+    def __getitem__(self, indices) -> E.Load:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return E.Load(self, indices)
+
+    def scalar(self) -> E.Load:
+        """Read this 0-d array as a scalar expression."""
+        if self.shape != ():
+            raise PatternError(f"{self.name!r} is not a 0-d array")
+        return E.Load(self, ())
+
+    def __repr__(self):
+        return f"Array({self.name!r}, shape={self.shape}, {self.dtype})"
+
+
+def scalar_cell(name: str, dtype: str = E.FLOAT32,
+                value=None) -> Array:
+    """Create a 0-d array (a single DRAM word), optionally initialised."""
+    cell = Array(name, (), dtype)
+    if value is not None:
+        cell.set_data(np.asarray(value))
+    return cell

@@ -1,0 +1,134 @@
+"""Index domains for parallel patterns.
+
+A pattern's domain is a sequence of dimensions.  Each dimension is one of:
+
+* a static extent (``int``) — iterates ``0 .. n-1``;
+* a dynamic extent (:class:`~repro.patterns.collections.Dyn`) — iterates up
+  to a runtime length stored in a 0-d int32 array (FlatMap outputs);
+* an expression range ``(lo, hi)`` of symbolic int expressions — iterates
+  ``lo .. hi-1``; used for data-dependent ranges such as CSR row segments;
+* a callable taking the already-created indices of *earlier* dimensions of
+  the same pattern and returning an ``(lo, hi)`` expression pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple, Union
+
+from repro.errors import PatternError
+from repro.patterns import expr as E
+from repro.patterns.collections import Dyn
+
+DomainEntry = Union[int, Dyn, Tuple[E.ExprLike, E.ExprLike], Callable]
+
+
+class Dim:
+    """Base class of a normalized domain dimension."""
+
+    #: True when the iteration count is known at compile time.
+    static = False
+
+    def extent_hint(self) -> int:
+        """Best static estimate of the trip count (for sizing heuristics)."""
+        raise NotImplementedError
+
+
+class StaticDim(Dim):
+    """A compile-time-known extent ``0 .. extent-1``."""
+
+    static = True
+
+    def __init__(self, extent: int):
+        if extent <= 0:
+            raise PatternError(f"domain extent must be positive, got {extent}")
+        self.extent = extent
+
+    def extent_hint(self) -> int:
+        return self.extent
+
+    def __repr__(self):
+        return f"StaticDim({self.extent})"
+
+
+class DynDim(Dim):
+    """A runtime extent ``0 .. len-1`` read from a 0-d int32 array."""
+
+    def __init__(self, dyn: Dyn, hint: int = 0):
+        self.dyn = dyn
+        self.hint = hint
+
+    def extent_hint(self) -> int:
+        if self.hint:
+            return self.hint
+        bound = self.dyn.length_of.max_elems
+        return bound if bound else 1
+
+    def __repr__(self):
+        return f"DynDim({self.dyn!r})"
+
+
+class RangeDim(Dim):
+    """A data-dependent range ``lo .. hi-1`` of symbolic expressions.
+
+    The expressions may reference indices of enclosing patterns and earlier
+    dimensions of the same pattern (e.g. CSR ``row_ptr[i] .. row_ptr[i+1]``).
+    """
+
+    def __init__(self, lo: E.ExprLike, hi: E.ExprLike, hint: int = 8):
+        self.lo = E.wrap(lo)
+        self.hi = E.wrap(hi)
+        self.hint = hint
+
+    def extent_hint(self) -> int:
+        return self.hint
+
+    def __repr__(self):
+        return "RangeDim"
+
+
+def normalize_domain(domain, prev_indices: Sequence[E.Idx] = ()):
+    """Normalize a user-facing domain spec into ``(dims, indices)``.
+
+    ``domain`` may be a single entry or a sequence of entries.  A fresh
+    :class:`~repro.patterns.expr.Idx` is created per dimension; callables are
+    invoked with all earlier indices (enclosing-pattern indices first).
+    """
+    if isinstance(domain, (int, Dyn)) or callable(domain) or (
+            isinstance(domain, tuple) and len(domain) == 2
+            and any(isinstance(x, E.Expr) for x in domain)):
+        domain = (domain,)
+    dims = []
+    indices = list(prev_indices)
+    own_indices = []
+    for axis, entry in enumerate(domain):
+        if callable(entry) and not isinstance(entry, Dyn):
+            entry = entry(*indices)
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                raise PatternError(
+                    "callable domain entry must return a (lo, hi) pair")
+        if isinstance(entry, bool):
+            raise PatternError("domain extent cannot be bool")
+        if isinstance(entry, int):
+            dim: Dim = StaticDim(entry)
+        elif isinstance(entry, Dyn):
+            dim = DynDim(entry)
+        elif isinstance(entry, tuple) and len(entry) == 2:
+            dim = RangeDim(entry[0], entry[1])
+        else:
+            raise PatternError(f"bad domain entry {entry!r}")
+        idx = E.Idx(f"i{len(indices)}",
+                    dim.extent if isinstance(dim, StaticDim) else None)
+        dims.append(dim)
+        indices.append(idx)
+        own_indices.append(idx)
+    if not dims:
+        raise PatternError("pattern domain must have at least one dimension")
+    return tuple(dims), tuple(own_indices)
+
+
+def static_trip_count(dims) -> int:
+    """Product of extent hints across dimensions."""
+    count = 1
+    for dim in dims:
+        count *= dim.extent_hint()
+    return count

@@ -1,0 +1,9 @@
+"""Analytical performance scaling to paper-sized datasets."""
+
+from repro.perf.model import (DEFAULT_KNOBS, PerfKnobs, bound_of,
+                              plasticine_runtime_s, random_access_gbps)
+
+__all__ = [
+    "DEFAULT_KNOBS", "PerfKnobs", "bound_of", "plasticine_runtime_s",
+    "random_access_gbps",
+]

@@ -1,0 +1,29 @@
+"""Cycle-level simulator of the Plasticine fabric."""
+
+from repro.sim.config import (AgAssignment, FabricConfig, LeafTiming,
+                              MemoryPlacement)
+from repro.sim.counters import Batch, ChainEnumerator
+from repro.sim.datapath import LaneContext
+from repro.sim.dram_image import DramImage, assign_bases
+from repro.sim.fifo import FifoSim
+from repro.sim.leaves import (GatherSim, InnerComputeSim, NodeSim,
+                              ScatterSim, StreamStoreSim, TileLoadSim,
+                              TileStoreSim)
+from repro.sim.machine import Machine
+from repro.sim.outer import DepEdge, OuterControllerSim
+from repro.sim.scratchpad import MemoryState, RegSim, ScratchpadSim
+from repro.sim.stats import SimStats
+
+__all__ = [
+    "AgAssignment", "FabricConfig", "LeafTiming", "MemoryPlacement",
+    "Batch", "ChainEnumerator",
+    "LaneContext",
+    "DramImage", "assign_bases",
+    "FifoSim",
+    "GatherSim", "InnerComputeSim", "NodeSim", "ScatterSim",
+    "StreamStoreSim", "TileLoadSim", "TileStoreSim",
+    "Machine",
+    "DepEdge", "OuterControllerSim",
+    "MemoryState", "RegSim", "ScratchpadSim",
+    "SimStats",
+]

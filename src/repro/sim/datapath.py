@@ -1,0 +1,121 @@
+"""Datapath evaluation: symbolic expressions over on-chip memory state.
+
+The PCU datapath is evaluated functionally, one lane at a time, while the
+addresses touched per scratchpad are recorded so the caller can charge
+bank-conflict cycles per the banking mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dhdl.memory import FifoDecl, Reg, Sram
+from repro.errors import SimulationError
+from repro.patterns import expr as E
+from repro.patterns.collections import _np_dtype
+from repro.sim.scratchpad import MemoryState
+
+
+class LaneContext:
+    """Evaluates expressions for one activation of an inner controller.
+
+    ``version`` selects which N-buffer generation reads observe.
+    ``accesses`` accumulates ``(sram name, load site) -> [flat
+    addresses]`` for the current vector of lanes; the controller drains
+    it each cycle to price bank conflicts.  Each load site is priced as
+    its own pipelined operand stream (distinct pipeline stages issue
+    their reads on different cycles).
+    """
+
+    def __init__(self, mem: MemoryState, version: int):
+        self.mem = mem
+        self.version = version
+        self.accesses: Dict[str, List[int]] = {}
+        self.fifo_pops: List[Tuple[FifoDecl, object]] = []
+
+    def reset_accesses(self) -> Dict[str, List[int]]:
+        """Return and clear the recorded accesses."""
+        out, self.accesses = self.accesses, {}
+        return out
+
+    # -- evaluation ---------------------------------------------------------------
+    def eval(self, node: E.Expr, bindings, cache=None):
+        """Evaluate one expression to a scalar under lane bindings."""
+        if cache is None:
+            cache = {}
+        if node in cache:
+            return cache[node]
+        result = self._eval(node, bindings, cache)
+        if isinstance(result, float) and node.dtype == E.FLOAT32:
+            result = float(np.float32(result))
+        cache[node] = result
+        return result
+
+    def _eval(self, node, bindings, cache):
+        if isinstance(node, E.Const):
+            return node.value
+        if isinstance(node, (E.Idx, E.Var)):
+            try:
+                return bindings[node]
+            except KeyError:
+                raise SimulationError(
+                    f"unbound symbol {node!r} in datapath") from None
+        if isinstance(node, E.Load):
+            return self._load(node, bindings, cache)
+        if isinstance(node, E.BinOp):
+            return E.eval_binary(node.op,
+                                 self.eval(node.lhs, bindings, cache),
+                                 self.eval(node.rhs, bindings, cache))
+        if isinstance(node, E.UnOp):
+            return E.eval_unary(node.op,
+                                self.eval(node.operand, bindings, cache))
+        if isinstance(node, E.Select):
+            cond = self.eval(node.cond, bindings, cache)
+            branch = node.if_true if cond else node.if_false
+            return self.eval(branch, bindings, cache)
+        raise SimulationError(f"cannot evaluate {node!r} on the datapath")
+
+    def _load(self, node: E.Load, bindings, cache):
+        target = node.array
+        if isinstance(target, Reg):
+            return self.mem.reg(target).read()
+        if isinstance(target, Sram):
+            idxs = [int(self.eval(i, bindings, cache))
+                    for i in node.indices]
+            scratch = self.mem.scratch(target)
+            buf = scratch.read_buffer(self.version)
+            flat = 0
+            for axis, idx in enumerate(idxs):
+                if idx < 0 or idx >= buf.shape[axis]:
+                    raise SimulationError(
+                        f"scratchpad OOB: {target.name}[{idxs}] shape "
+                        f"{buf.shape}")
+                flat = flat * buf.shape[axis] + idx
+            self.accesses.setdefault((target.name, id(node)),
+                                     []).append(flat)
+            return buf[tuple(idxs)].item()
+        raise SimulationError(
+            f"datapath cannot read {type(target).__name__} "
+            f"{getattr(target, 'name', '?')!r}")
+
+    # -- writes -------------------------------------------------------------------
+    def write_sram(self, sram: Sram, idxs, value) -> int:
+        """Write one element into the version buffer; returns flat addr."""
+        scratch = self.mem.scratch(sram)
+        buf = scratch.buffer(self.version)
+        flat = 0
+        for axis, idx in enumerate(idxs):
+            if idx < 0 or idx >= buf.shape[axis]:
+                raise SimulationError(
+                    f"scratchpad OOB write: {sram.name}[{list(idxs)}] "
+                    f"shape {buf.shape}")
+            flat = flat * buf.shape[axis] + idx
+        buf[tuple(int(i) for i in idxs)] = _np_dtype(sram.dtype)(value)
+        scratch.note_write(self.version, flat)
+        return flat
+
+    def write_reg(self, reg: Reg, value) -> None:
+        """Write a scalar register."""
+        self.mem.reg(reg).write(value)

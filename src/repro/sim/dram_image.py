@@ -1,0 +1,91 @@
+"""The DRAM image: flat word-addressable contents of off-chip memory.
+
+The timing of DRAM traffic is modelled by :mod:`repro.dram`; the *data*
+lives here.  Every pattern array is laid out row-major at a base byte
+address chosen by the compiler; transfers copy words between this image
+and scratchpad buffers when their bursts complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.dhdl.memory import DramRef
+from repro.errors import SimulationError
+from repro.patterns.collections import _np_dtype
+
+
+class DramImage:
+    """Word-granularity backing store for all DRAM collections."""
+
+    def __init__(self, drams: Iterable[DramRef], base: Dict[str, int]):
+        self.base = dict(base)
+        self.buffers: Dict[str, np.ndarray] = {}
+        self._by_name: Dict[str, DramRef] = {}
+        for ref in drams:
+            if ref.name not in self.base:
+                raise SimulationError(
+                    f"DRAM array {ref.name!r} has no base address")
+            if self.base[ref.name] % 4:
+                raise SimulationError(
+                    f"DRAM base of {ref.name!r} is not word aligned")
+            words = ref.words()
+            np_dtype = _np_dtype(ref.dtype)
+            if ref.array.data is not None:
+                flat = np.zeros(words, dtype=np_dtype)
+                src = ref.array.data.ravel().astype(np_dtype)
+                flat[:src.size] = src
+                self.buffers[ref.name] = flat
+            else:
+                self.buffers[ref.name] = np.zeros(words, dtype=np_dtype)
+            self._by_name[ref.name] = ref
+
+    # -- word access --------------------------------------------------------------
+    def read_words(self, name: str, word_off: int, count: int) -> np.ndarray:
+        """Read a contiguous span of words from one array."""
+        buf = self.buffers[name]
+        if word_off < 0 or word_off + count > buf.size:
+            raise SimulationError(
+                f"DRAM OOB read {name}[{word_off}:{word_off + count}] "
+                f"(size {buf.size})")
+        return buf[word_off:word_off + count]
+
+    def write_words(self, name: str, word_off: int, values) -> None:
+        """Write a contiguous span of words into one array."""
+        buf = self.buffers[name]
+        values = np.asarray(values, dtype=buf.dtype)
+        if word_off < 0 or word_off + values.size > buf.size:
+            raise SimulationError(
+                f"DRAM OOB write {name}[{word_off}:"
+                f"{word_off + values.size}] (size {buf.size})")
+        buf[word_off:word_off + values.size] = values
+
+    def byte_addr(self, name: str, word_off: int) -> int:
+        """Physical byte address of one word of an array."""
+        return self.base[name] + 4 * word_off
+
+    def scalar(self, name: str):
+        """Value of a 0-d collection."""
+        return self.buffers[name][0].item()
+
+    def as_array(self, name: str) -> np.ndarray:
+        """The logical array view (reshaped to its static shape)."""
+        ref = self._by_name[name]
+        buf = self.buffers[name]
+        if ref.array.is_dynamic or ref.array.shape == ():
+            return buf
+        return buf.reshape(ref.array.shape)
+
+
+def assign_bases(drams: Iterable[DramRef],
+                 alignment: int = 4096) -> Dict[str, int]:
+    """Lay out arrays consecutively at ``alignment``-byte boundaries."""
+    base = {}
+    cursor = alignment  # keep address 0 unused (easier debugging)
+    for ref in drams:
+        base[ref.name] = cursor
+        size = 4 * ref.words()
+        cursor += ((size + alignment - 1) // alignment) * alignment
+    return base

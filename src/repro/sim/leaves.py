@@ -1,0 +1,684 @@
+"""Leaf controller simulators: PCU dataflow bodies and AG transfers.
+
+Every leaf implements the :class:`NodeSim` protocol the outer scheduler
+drives:
+
+* ``start(bindings, version)`` — begin one activation (one iteration of
+  the parent controller), with concrete values for enclosing indices;
+* ``tick(cycle)`` — advance one cycle;
+* ``busy`` — True until the activation fully completes (including
+  pipeline drain and outstanding DRAM traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dhdl.ir import (EmitStmt, Gather, HashReduceStmt, InnerCompute,
+                           ReduceStmt, Scatter, StreamStore, TileLoad,
+                           TileStore, WriteStmt)
+from repro.dhdl.memory import Reg, Sram
+from repro.dram.model import DramModel
+from repro.dram.request import DramRequest
+from repro.errors import SimulationError
+from repro.patterns import expr as E
+from repro.patterns.collections import _np_dtype
+from repro.sim.config import FabricConfig
+from repro.sim.counters import Batch, ChainEnumerator
+from repro.sim.datapath import LaneContext
+from repro.sim.dram_image import DramImage
+from repro.sim.fifo import FifoSim
+from repro.sim.scratchpad import MemoryState
+from repro.sim.stats import SimStats
+
+WORDS_PER_BURST = 16
+
+
+class NodeSim:
+    """Protocol for anything the outer scheduler can run."""
+
+    name: str = "?"
+
+    def start(self, bindings: dict, version: int) -> None:
+        """Begin one activation."""
+        raise NotImplementedError
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle."""
+        raise NotImplementedError
+
+    @property
+    def busy(self) -> bool:
+        """True until the current activation completes."""
+        raise NotImplementedError
+
+
+class _LeafCommon(NodeSim):
+    """Shared leaf state: memory handles, stats, config timing."""
+
+    def __init__(self, name: str, mem: MemoryState, stats: SimStats):
+        self.name = name
+        self.mem = mem
+        self.stats = stats
+        self._active = False
+
+    @property
+    def busy(self) -> bool:
+        return self._active
+
+    def _ctx(self, version: int) -> LaneContext:
+        return LaneContext(self.mem, version)
+
+
+class InnerComputeSim(_LeafCommon):
+    """One inner dataflow pipeline (a chain of physical PCUs).
+
+    Per cycle it issues one vector of up to ``lanes`` innermost indices,
+    evaluates every statement for each lane, and charges bank-conflict
+    and FIFO-backpressure stalls.  Completion waits for the pipeline to
+    drain (``pipeline_depth`` extra cycles).
+    """
+
+    def __init__(self, leaf: InnerCompute, config: FabricConfig,
+                 mem: MemoryState, stats: SimStats,
+                 fifos: Dict[str, FifoSim]):
+        super().__init__(leaf.name, mem, stats)
+        self.leaf = leaf
+        self.timing = config.timing_for(leaf.name)
+        self.fifos = fifos
+        self._enum: Optional[ChainEnumerator] = None
+        self._ctx_cur: Optional[LaneContext] = None
+        self._stall_until = 0
+        self._drain_until = 0
+        self._pending: Optional[Batch] = None
+        # reduce accumulators: stmt index -> {key: (bindings, value)}
+        self._accs: Dict[int, Dict[Tuple, Tuple[dict, object]]] = {}
+        self._version: tuple = ()
+
+    # -- activation ---------------------------------------------------------------
+    def start(self, bindings: dict, version: int) -> None:
+        if self._active:
+            raise SimulationError(f"{self.name}: started while busy")
+        self._active = True
+        self._version = version
+        self._ctx_cur = self._ctx(version)
+        ctx = self._ctx_cur
+
+        def evaluate(expr, bnd):
+            return ctx.eval(expr, bnd, {})
+
+        self._enum = ChainEnumerator(self.leaf.chain, evaluate, bindings)
+        self._pending = None
+        self._stall_until = 0
+        self._drain_until = 0
+        self._accs = {k: {} for k, s in enumerate(self.leaf.stmts)
+                      if isinstance(s, ReduceStmt)}
+        # dense HashReduce targets start at their init value unless they
+        # carry previous contents across activations
+        for stmt in self.leaf.stmts:
+            if isinstance(stmt, HashReduceStmt) and not stmt.carry:
+                scratch = self.mem.scratch(stmt.mem)
+                buf = scratch.buffer(version)
+                buf.fill(_np_dtype(stmt.mem.dtype)(stmt.init))
+
+    # -- per-cycle ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        if self._enum is None:  # draining
+            if cycle >= self._drain_until:
+                self._finish()
+            return
+        if cycle < self._stall_until:
+            self.stats.busy(self.name)
+            return
+        batch = self._pending or self._enum.next_batch()
+        self._pending = None
+        if batch is None:
+            self._enum = None
+            self._drain_until = cycle + self.timing.pipeline_depth \
+                + self.timing.output_hops
+            self.stats.busy(self.name)
+            return
+        extra = self._execute(batch)
+        if extra is None:           # FIFO full: retry this batch
+            self._pending = batch
+            self.stats.fifo_stall_cycles += 1
+            return
+        self.stats.busy(self.name, 1 + extra)
+        self.stats.vector_issues += 1
+        if extra:
+            self._stall_until = cycle + 1 + extra
+
+    # -- body execution ---------------------------------------------------------------
+    def _execute(self, batch: Batch) -> Optional[int]:
+        """Run all statements for one vector batch.
+
+        Returns the extra stall cycles, or None if an EmitStmt found its
+        FIFO full (the batch must be retried unchanged).
+        """
+        ctx = self._ctx_cur
+        # pre-check FIFO room for the worst case (all lanes emit)
+        for stmt in self.leaf.stmts:
+            if isinstance(stmt, EmitStmt):
+                fifo = self.fifos[stmt.fifo.name]
+                if not fifo.can_push(batch.lanes):
+                    fifo.full_stalls += 1
+                    return None
+
+        write_addrs: Dict[str, List[int]] = {}
+        lane_caches = [dict() for _ in batch.lane_bindings]
+        for si, stmt in enumerate(self.leaf.stmts):
+            if isinstance(stmt, WriteStmt):
+                self._do_write(stmt, batch, ctx, lane_caches, write_addrs)
+            elif isinstance(stmt, ReduceStmt):
+                self._do_reduce(si, stmt, batch, ctx, lane_caches)
+            elif isinstance(stmt, HashReduceStmt):
+                self._do_hash(stmt, batch, ctx, lane_caches, write_addrs)
+            elif isinstance(stmt, EmitStmt):
+                self._do_emit(stmt, batch, ctx, lane_caches)
+            else:
+                raise SimulationError(f"unknown stmt {stmt!r}")
+        # price the cycle: bank conflicts on reads and writes, per
+        # operand stream (each load site reads in its own stage)
+        extra = 0
+        for (name, _site), addrs in ctx.reset_accesses().items():
+            extra = max(extra, self.mem.scratchpads[name].read_cost(addrs))
+        for name, addrs in write_addrs.items():
+            extra = max(extra, self.mem.scratchpads[name].write_cost(addrs))
+        self.stats.conflict_cycles += extra
+        self.stats.ops_executed += self._batch_ops(batch)
+        return extra
+
+    def _batch_ops(self, batch: Batch) -> int:
+        ops = 0
+        for stmt in self.leaf.stmts:
+            for root in stmt.exprs():
+                ops += E.count_ops(root)
+        return ops * batch.lanes
+
+    def _do_write(self, stmt: WriteStmt, batch, ctx, caches, write_addrs):
+        for lane, cache in zip(batch.lane_bindings, caches):
+            value = ctx.eval(stmt.value, lane, cache)
+            if isinstance(stmt.mem, Reg):
+                ctx.write_reg(stmt.mem, value)
+                continue
+            idxs = [int(ctx.eval(a, lane, cache)) for a in stmt.addr]
+            flat = ctx.write_sram(stmt.mem, idxs, value)
+            write_addrs.setdefault(stmt.mem.name, []).append(flat)
+
+    def _do_reduce(self, si: int, stmt: ReduceStmt, batch, ctx, caches):
+        accs = self._accs[si]
+        for lane, cache in zip(batch.lane_bindings, caches):
+            values = [ctx.eval(v, lane, cache) for v in stmt.values]
+            key: Tuple = tuple(int(ctx.eval(a, lane, cache))
+                               for a in stmt.addr)
+            prev = accs[key][1] if key in accs else list(stmt.inits)
+            cbind = dict(lane)
+            for k in range(stmt.width):
+                cbind[stmt.acc_a[k]] = prev[k]
+                cbind[stmt.acc_b[k]] = values[k]
+            ccache = {}
+            combined = [ctx.eval(c, cbind, ccache) for c in stmt.combines]
+            accs[key] = (lane, combined)
+
+    def _do_hash(self, stmt: HashReduceStmt, batch, ctx, caches,
+                 write_addrs):
+        for lane, cache in zip(batch.lane_bindings, caches):
+            key = int(ctx.eval(stmt.key, lane, cache))
+            value = ctx.eval(stmt.value, lane, cache)
+            scratch = self.mem.scratch(stmt.mem)
+            buf = scratch.buffer(self._version)
+            if key < 0 or key >= buf.size:
+                raise SimulationError(
+                    f"{self.name}: hash key {key} outside "
+                    f"[0, {buf.size})")
+            cbind = dict(lane)
+            cbind[stmt.acc_a] = buf.flat[key].item()
+            cbind[stmt.acc_b] = value
+            buf.flat[key] = ctx.eval(stmt.combine, cbind, {})
+            write_addrs.setdefault(stmt.mem.name, []).append(key)
+
+    def _do_emit(self, stmt: EmitStmt, batch, ctx, caches):
+        fifo = self.fifos[stmt.fifo.name]
+        values = []
+        for lane, cache in zip(batch.lane_bindings, caches):
+            if ctx.eval(stmt.cond, lane, cache):
+                values.append(ctx.eval(stmt.value, lane, cache))
+        if values:
+            fifo.push(values)
+
+    # -- completion ---------------------------------------------------------------
+    def _finish(self) -> None:
+        ctx = self._ctx_cur
+        for si, accs in self._accs.items():
+            stmt = self.leaf.stmts[si]
+            for key, (snapshot, values) in accs.items():
+                if stmt.carry:
+                    current = []
+                    for mem in stmt.mems:
+                        if isinstance(mem, Reg):
+                            current.append(self.mem.reg(mem).read())
+                        else:
+                            buf = self.mem.scratch(mem).read_buffer(
+                                self._version)
+                            current.append(buf[key].item())
+                    cbind = dict(snapshot)
+                    for k in range(stmt.width):
+                        cbind[stmt.acc_a[k]] = current[k]
+                        cbind[stmt.acc_b[k]] = values[k]
+                    ccache = {}
+                    values = [ctx.eval(c, cbind, ccache)
+                              for c in stmt.combines]
+                for mem, value in zip(stmt.mems, values):
+                    if isinstance(mem, Reg):
+                        ctx.write_reg(mem, value)
+                    else:
+                        ctx.write_sram(mem, list(key), value)
+        ctx.reset_accesses()
+        # close any FIFO this body emits into
+        for stmt in self.leaf.stmts:
+            if isinstance(stmt, EmitStmt):
+                self.fifos[stmt.fifo.name].close()
+        self._active = False
+
+
+class _TransferCommon(_LeafCommon):
+    """Shared transfer machinery: DRAM issue bookkeeping and AG limits."""
+
+    def __init__(self, name: str, config: FabricConfig, mem: MemoryState,
+                 stats: SimStats, dram: DramModel, image: DramImage):
+        super().__init__(name, mem, stats)
+        self.config = config
+        self.dram = dram
+        self.image = image
+        self.streams = config.ags_for(name).streams
+        self._outstanding = 0
+
+    def _issue(self, request: DramRequest, on_done) -> None:
+        self._outstanding += 1
+
+        def _cb(req):
+            self._outstanding -= 1
+            on_done(req)
+
+        self.dram.submit(request, _cb)
+
+
+class TileLoadSim(_TransferCommon):
+    """Dense DRAM -> scratchpad burst load."""
+
+    def __init__(self, leaf: TileLoad, config, mem, stats, dram, image):
+        super().__init__(leaf.name, config, mem, stats, dram, image)
+        self.leaf = leaf
+        self._spans: List[Tuple[int, int, int]] = []  # (word_off, count, sram_flat)
+        self._version: tuple = ()
+
+    def start(self, bindings: dict, version: int) -> None:
+        self._active = True
+        self._version = version
+        ctx = self._ctx(version)
+        offsets = [int(ctx.eval(o, bindings, {})) for o in self.leaf.offsets]
+        self._spans = list(self._tile_spans(offsets))
+        # ensure destination buffer exists even for fully-clipped tiles
+        self.mem.scratch(self.leaf.sram).buffer(version)
+
+    def _tile_spans(self, offsets):
+        """Yield (dram_word_off, word_count, sram_flat_off) per tile row.
+
+        A tile of shape T over a row-major DRAM array of shape S starting
+        at ``offsets`` decomposes into contiguous runs of the innermost
+        dimension; runs are clipped to the array extents (partial edge
+        tiles load what exists, the rest of the scratchpad keeps its
+        previous/zero contents).
+        """
+        dram_shape = [int(d) if isinstance(d, int) else None
+                      for d in self.leaf.dram.shape]
+        if not dram_shape:          # 0-d cell: a single word
+            dram_shape = [1]
+            offsets = [0]
+        tile = self.leaf.tile_shape or (1,)
+        inner = tile[-1]
+        outer_dims = tile[:-1]
+        total_words = self.leaf.dram.words()
+        inner_limit = (dram_shape[-1] if dram_shape[-1] is not None
+                       else total_words)
+
+        def flatten(prefix_positions):
+            """Row-major flat word offset of (prefix..., offsets[-1])."""
+            flat = 0
+            for k, pos in enumerate(prefix_positions):
+                flat = flat * dram_shape[k] + pos if k else pos
+            if len(dram_shape) > 1:
+                flat = flat * dram_shape[-1]
+            return flat + offsets[-1]
+
+        def rec(axis, prefix, sram_off):
+            if axis == len(outer_dims):
+                start = flatten(prefix)
+                count = min(inner, inner_limit - offsets[-1],
+                            total_words - start)
+                if count > 0:
+                    yield (start, count, sram_off)
+                return
+            size = dram_shape[axis] if dram_shape[axis] is not None \
+                else 1 << 30
+            inner_words = 1
+            for d in tile[axis + 1:]:
+                inner_words *= d
+            for t in range(outer_dims[axis]):
+                pos = offsets[axis] + t
+                if pos >= size:
+                    continue
+                yield from rec(axis + 1, prefix + [pos],
+                               sram_off + t * inner_words)
+
+        yield from rec(0, [], 0)
+
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        issued = 0
+        while self._spans and issued < self.streams:
+            word_off, count, sram_flat = self._spans[0]
+            burst_words = min(count, WORDS_PER_BURST)
+            addr = self.image.byte_addr(self.leaf.dram.name, word_off)
+            if not self.dram.can_accept(addr):
+                break
+            tag = (word_off, burst_words, sram_flat)
+            self._issue(DramRequest(byte_addr=addr, tag=tag),
+                        self._on_burst)
+            issued += 1
+            if burst_words == count:
+                self._spans.pop(0)
+            else:
+                self._spans[0] = (word_off + burst_words,
+                                  count - burst_words,
+                                  sram_flat + burst_words)
+        if issued or self._outstanding:
+            self.stats.busy(self.name)
+        if not self._spans and self._outstanding == 0:
+            self._active = False
+
+    def _on_burst(self, request: DramRequest) -> None:
+        word_off, count, sram_flat = request.tag
+        words = self.image.read_words(self.leaf.dram.name, word_off, count)
+        scratch = self.mem.scratch(self.leaf.sram)
+        buf = scratch.buffer(self._version)
+        flat_view = buf.reshape(-1)
+        if sram_flat + count > flat_view.size:
+            raise SimulationError(
+                f"{self.name}: tile overruns scratchpad "
+                f"{self.leaf.sram.name!r}")
+        flat_view[sram_flat:sram_flat + count] = words.astype(buf.dtype)
+
+
+class TileStoreSim(_TransferCommon):
+    """Dense scratchpad -> DRAM burst store."""
+
+    def __init__(self, leaf: TileStore, config, mem, stats, dram, image):
+        super().__init__(leaf.name, config, mem, stats, dram, image)
+        self.leaf = leaf
+        self._spans: List[Tuple[int, int, int]] = []
+        self._version: tuple = ()
+
+    def start(self, bindings: dict, version: int) -> None:
+        self._active = True
+        self._version = version
+        ctx = self._ctx(version)
+        offsets = [int(ctx.eval(o, bindings, {})) for o in self.leaf.offsets]
+        limit = None
+        if self.leaf.count is not None:
+            limit = int(ctx.eval(self.leaf.count, bindings, {}))
+        loader = TileLoadSim.__new__(TileLoadSim)  # reuse span generator
+        loader.leaf = self.leaf
+        spans = list(TileLoadSim._tile_spans(loader, offsets))
+        if limit is not None:
+            clipped = []
+            remaining = limit
+            for word_off, count, sram_flat in spans:
+                if remaining <= 0:
+                    break
+                take = min(count, remaining)
+                clipped.append((word_off, take, sram_flat))
+                remaining -= take
+            spans = clipped
+        self._spans = spans
+
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        issued = 0
+        while self._spans and issued < self.streams:
+            word_off, count, sram_flat = self._spans[0]
+            burst_words = min(count, WORDS_PER_BURST)
+            addr = self.image.byte_addr(self.leaf.dram.name, word_off)
+            if not self.dram.can_accept(addr):
+                break
+            # move the data now; the request models timing
+            scratch = self.mem.scratch(self.leaf.sram)
+            buf = scratch.read_buffer(self._version).reshape(-1)
+            scratch.reads += burst_words
+            self.image.write_words(
+                self.leaf.dram.name, word_off,
+                buf[sram_flat:sram_flat + burst_words])
+            self._issue(DramRequest(byte_addr=addr, is_write=True),
+                        lambda req: None)
+            issued += 1
+            if burst_words == count:
+                self._spans.pop(0)
+            else:
+                self._spans[0] = (word_off + burst_words,
+                                  count - burst_words,
+                                  sram_flat + burst_words)
+        if issued or self._outstanding:
+            self.stats.busy(self.name)
+        if not self._spans and self._outstanding == 0:
+            self._active = False
+
+
+class GatherSim(_TransferCommon):
+    """Sparse load through the coalescing unit.
+
+    Addresses (element indices into the flattened DRAM collection) come
+    from a scratchpad; one word lands in the destination scratchpad per
+    address.  Addresses falling in the same 64-byte burst coalesce into
+    one DRAM request (the paper's coalescing cache).
+    """
+
+    def __init__(self, leaf: Gather, config, mem, stats, dram, image):
+        super().__init__(leaf.name, config, mem, stats, dram, image)
+        self.COALESCE_ENTRIES = config.coalesce_entries
+        self.leaf = leaf
+        self._queue: List[Tuple[int, int]] = []   # (dst_flat, elem_idx)
+        self._open: Dict[int, List[Tuple[int, int]]] = {}
+        self._version: tuple = ()
+        self.coalesced_hits = 0
+
+    def start(self, bindings: dict, version: int) -> None:
+        self._active = True
+        self._version = version
+        ctx = self._ctx(version)
+        scratch = self.mem.scratch(self.leaf.addr_sram)
+        addr_buf = scratch.read_buffer(version).reshape(-1)
+        if self.leaf.count is not None:
+            count = int(ctx.eval(self.leaf.count, bindings, {}))
+            count = min(count, addr_buf.size)
+        else:
+            # dynamic: gather exactly the addresses produced upstream
+            count = scratch.watermark_for(version) or addr_buf.size
+        self._queue = [(k, int(addr_buf[k])) for k in range(count)]
+        self._open = {}
+        self.mem.scratch(self.leaf.dst_sram).buffer(version)
+
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        # each AG stream feeds one address per cycle into the coalescer
+        budget = self.streams
+        progressed = bool(self._outstanding)
+        while self._queue and budget > 0:
+            dst_flat, elem = self._queue[0]
+            if elem < 0 or elem >= self.leaf.dram.words():
+                raise SimulationError(
+                    f"{self.name}: gather index {elem} out of bounds for "
+                    f"{self.leaf.dram.name!r}")
+            addr = self.image.byte_addr(self.leaf.dram.name, elem)
+            burst = addr // 64
+            if burst in self._open:
+                self._open[burst].append((dst_flat, elem))
+                self._queue.pop(0)
+                self.coalesced_hits += 1
+                budget -= 1
+                progressed = True
+                continue
+            if len(self._open) >= self.COALESCE_ENTRIES:
+                break
+            if not self.dram.can_accept(addr):
+                break
+            self._open[burst] = [(dst_flat, elem)]
+            self._issue(DramRequest(byte_addr=addr, tag=burst),
+                        self._on_burst)
+            self._queue.pop(0)
+            budget -= 1
+            progressed = True
+        if progressed:
+            self.stats.busy(self.name)
+        if not self._queue and self._outstanding == 0 and not self._open:
+            self._active = False
+
+    def _on_burst(self, request: DramRequest) -> None:
+        pendings = self._open.pop(request.tag, [])
+        scratch = self.mem.scratch(self.leaf.dst_sram)
+        buf = scratch.buffer(self._version).reshape(-1)
+        for dst_flat, elem in pendings:
+            if dst_flat >= buf.size:
+                raise SimulationError(
+                    f"{self.name}: gather destination overflow")
+            value = self.image.read_words(self.leaf.dram.name, elem, 1)[0]
+            buf[dst_flat] = value
+
+
+class ScatterSim(_TransferCommon):
+    """Sparse store through the coalescing unit."""
+
+    def __init__(self, leaf: Scatter, config, mem, stats, dram, image):
+        super().__init__(leaf.name, config, mem, stats, dram, image)
+        self.COALESCE_ENTRIES = config.coalesce_entries
+        self.leaf = leaf
+        self._queue: List[Tuple[int, object]] = []
+        self._open: Dict[int, int] = {}
+        self.coalesced_hits = 0
+
+    def start(self, bindings: dict, version: int) -> None:
+        self._active = True
+        ctx = self._ctx(version)
+        addr_scratch = self.mem.scratch(self.leaf.addr_sram)
+        addr_buf = addr_scratch.read_buffer(version).reshape(-1)
+        val_buf = self.mem.scratch(
+            self.leaf.val_sram).read_buffer(version).reshape(-1)
+        count = min(addr_buf.size, val_buf.size)
+        if self.leaf.count is not None:
+            count = min(int(ctx.eval(self.leaf.count, bindings, {})), count)
+        else:
+            produced = addr_scratch.watermark_for(version)
+            if produced:
+                count = min(count, produced)
+        self._queue = [(int(addr_buf[k]), val_buf[k]) for k in range(count)]
+        self._open = {}
+
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        budget = self.streams
+        progressed = bool(self._outstanding)
+        while self._queue and budget > 0:
+            elem, value = self._queue[0]
+            if elem < 0 or elem >= self.leaf.dram.words():
+                raise SimulationError(
+                    f"{self.name}: scatter index {elem} out of bounds "
+                    f"for {self.leaf.dram.name!r}")
+            # data is applied immediately; requests model timing
+            addr = self.image.byte_addr(self.leaf.dram.name, elem)
+            burst = addr // 64
+            if burst in self._open:
+                self.image.write_words(self.leaf.dram.name, elem, [value])
+                self._open[burst] += 1
+                self._queue.pop(0)
+                self.coalesced_hits += 1
+                budget -= 1
+                progressed = True
+                continue
+            if len(self._open) >= self.COALESCE_ENTRIES:
+                break
+            if not self.dram.can_accept(addr):
+                break
+            self.image.write_words(self.leaf.dram.name, elem, [value])
+            self._open[burst] = 1
+
+            def _done(req, burst=burst):
+                self._open.pop(burst, None)
+
+            self._issue(DramRequest(byte_addr=addr, is_write=True,
+                                    tag=burst), _done)
+            self._queue.pop(0)
+            budget -= 1
+            progressed = True
+        if progressed:
+            self.stats.busy(self.name)
+        if not self._queue and self._outstanding == 0:
+            self._active = False
+
+
+class StreamStoreSim(_TransferCommon):
+    """Drain a FIFO into consecutive DRAM words (FlatMap output)."""
+
+    def __init__(self, leaf: StreamStore, config, mem, stats, dram, image,
+                 fifos: Dict[str, FifoSim]):
+        super().__init__(leaf.name, config, mem, stats, dram, image)
+        self.leaf = leaf
+        self.fifo = fifos[leaf.fifo.name]
+        self._written = 0
+        self._staging: List = []
+        self._base_word = 0
+
+    def start(self, bindings: dict, version: int) -> None:
+        self._active = True
+        ctx = self._ctx(version)
+        self._base_word = int(ctx.eval(self.leaf.base_offset, bindings, {}))
+        self._written = 0
+        self._staging = []
+
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        progressed = bool(self._outstanding)
+        got = self.fifo.pop(WORDS_PER_BURST - len(self._staging))
+        if got:
+            self._staging.extend(got)
+            progressed = True
+        flush = (len(self._staging) == WORDS_PER_BURST
+                 or (self.fifo.drained and self._staging))
+        if flush:
+            word_off = self._base_word + self._written
+            addr = self.image.byte_addr(self.leaf.dram.name, word_off)
+            if self.dram.can_accept(addr):
+                self.image.write_words(self.leaf.dram.name, word_off,
+                                       self._staging)
+                self._issue(DramRequest(byte_addr=addr, is_write=True),
+                            lambda req: None)
+                self._written += len(self._staging)
+                self._staging = []
+                progressed = True
+        if progressed:
+            self.stats.busy(self.name)
+        if (self.fifo.drained and not self._staging
+                and self._outstanding == 0):
+            reg = self.mem.reg(self.leaf.count_reg)
+            if self.leaf.accumulate:
+                reg.write(reg.read() + self._written)
+            else:
+                reg.write(self._written)
+            self._active = False

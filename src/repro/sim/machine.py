@@ -1,0 +1,280 @@
+"""The machine: assembles and runs one configured application.
+
+Builds per-controller simulators from a DHDL program and a
+:class:`~repro.sim.config.FabricConfig`, wires them to the scratchpad,
+FIFO, DRAM-image and DDR3-timing models, and runs the cycle loop until
+the root controller completes (with a deadlock watchdog).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.dhdl.control import Scheme
+from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
+                           OuterController, Scatter, StreamStore, TileLoad,
+                           TileStore, EmitStmt)
+from repro.dhdl.memory import FifoDecl, Reg, Sram
+from repro.dram.model import DramModel
+from repro.errors import DeadlockError, SimulationError
+from repro.patterns import expr as E
+from repro.sim.config import FabricConfig
+from repro.sim.dram_image import DramImage, assign_bases
+from repro.sim.fifo import FifoSim
+from repro.sim.leaves import (GatherSim, InnerComputeSim, NodeSim,
+                              ScatterSim, StreamStoreSim, TileLoadSim,
+                              TileStoreSim)
+from repro.sim.outer import DepEdge, OuterControllerSim
+from repro.sim.scratchpad import MemoryState
+from repro.sim.stats import SimStats
+
+
+def _loads_of(exprs) -> Set[str]:
+    names: Set[str] = set()
+    for root in exprs:
+        for load in E.collect_loads(root):
+            names.add(load.array.name)
+    return names
+
+
+def _mem_reads(ctrl) -> Set[str]:
+    """Names of memories (on-chip and ``dram:``-prefixed) a controller
+    reads."""
+    if isinstance(ctrl, InnerCompute):
+        names = {m.name for m in ctrl.memories_read()}
+        for counter in ctrl.chain.counters:
+            names |= _loads_of((counter.lo, counter.hi))
+        return names
+    if isinstance(ctrl, TileLoad):
+        return _loads_of(ctrl.offsets) | {f"dram:{ctrl.dram.name}"}
+    if isinstance(ctrl, TileStore):
+        names = {ctrl.sram.name} | _loads_of(ctrl.offsets)
+        if ctrl.count is not None:
+            names |= _loads_of((ctrl.count,))
+        return names
+    if isinstance(ctrl, Gather):
+        names = {ctrl.addr_sram.name, f"dram:{ctrl.dram.name}"}
+        if ctrl.count is not None:
+            names |= _loads_of((ctrl.count,))
+        return names
+    if isinstance(ctrl, Scatter):
+        names = {ctrl.addr_sram.name, ctrl.val_sram.name}
+        if ctrl.count is not None:
+            names |= _loads_of((ctrl.count,))
+        return names
+    if isinstance(ctrl, StreamStore):
+        return _loads_of((ctrl.base_offset,)) | {ctrl.fifo.name}
+    if isinstance(ctrl, OuterController):
+        names = set()
+        if ctrl.chain is not None:
+            for counter in ctrl.chain.counters:
+                names |= _loads_of((counter.lo, counter.hi))
+        for child in ctrl.children:
+            names |= _mem_reads(child)
+        # memories produced inside the scope are not external reads
+        names -= _mem_writes(ctrl)
+        return names
+    raise SimulationError(f"unknown controller {ctrl!r}")
+
+
+def _mem_writes(ctrl) -> Set[str]:
+    """Names of memories a controller writes."""
+    if isinstance(ctrl, InnerCompute):
+        names = set()
+        for stmt in ctrl.stmts:
+            targets = getattr(stmt, "targets", None)
+            if targets is not None:
+                names.update(t.name for t in targets)
+            else:
+                names.add(stmt.target.name)
+        return names
+    if isinstance(ctrl, TileLoad):
+        return {ctrl.sram.name}
+    if isinstance(ctrl, TileStore):
+        return {f"dram:{ctrl.dram.name}"}
+    if isinstance(ctrl, Gather):
+        return {ctrl.dst_sram.name}
+    if isinstance(ctrl, Scatter):
+        return {f"dram:{ctrl.dram.name}"}
+    if isinstance(ctrl, StreamStore):
+        return {ctrl.count_reg.name, f"dram:{ctrl.dram.name}"}
+    if isinstance(ctrl, OuterController):
+        names: Set[str] = set()
+        for child in ctrl.children:
+            names |= _mem_writes(child)
+        return names
+    raise SimulationError(f"unknown controller {ctrl!r}")
+
+
+class Machine:
+    """One configured Plasticine executing one application."""
+
+    def __init__(self, dhdl: DhdlProgram, config: FabricConfig,
+                 dram: Optional[DramModel] = None,
+                 watchdog: int = 50_000):
+        self.dhdl = dhdl
+        self.config = config
+        self.params = config.params
+        self.stats = SimStats()
+        self.watchdog = watchdog
+        base = config.dram_base or assign_bases(dhdl.drams)
+        self.image = DramImage(dhdl.drams, base)
+        self.dram = dram or DramModel(queue_depth=self.params.dram.
+                                      queue_depth)
+        banks = (config.banks_override if config.banks_override
+                 else self.params.pmu.banks)
+        self.mem = MemoryState(dhdl.srams, dhdl.regs, banks=banks)
+        self.fifos: Dict[str, FifoSim] = {
+            f.name: FifoSim(f, lanes=self.params.pcu.lanes)
+            for f in dhdl.fifos}
+        self._leaves: List[NodeSim] = []
+        self._outers: List[OuterControllerSim] = []
+        self.root = self._build(dhdl.root)
+        self.cycle = 0
+        self._nbuf_by_name = {s.name: s.nbuf for s in dhdl.srams}
+        for reg in dhdl.regs:
+            self._nbuf_by_name[reg.name] = reg.nbuf
+
+    # -- construction ------------------------------------------------------------
+    def _build(self, ctrl) -> NodeSim:
+        if isinstance(ctrl, OuterController):
+            children = [self._build(c) for c in ctrl.children]
+            edges = self._edges(ctrl)
+            fifos_inside = self._fifos_inside(ctrl)
+            sim = OuterControllerSim(ctrl, children, edges, self.mem,
+                                     fifos_inside)
+            self._outers.append(sim)
+            return sim
+        sim = self._build_leaf(ctrl)
+        self._leaves.append(sim)
+        timing = self.config.leaf_timing.get(ctrl.name)
+        if timing is not None:
+            self.stats.pcus_of[ctrl.name] = timing.num_pcus
+        assign = self.config.ag_assign.get(ctrl.name)
+        if assign is not None:
+            self.stats.ags_of[ctrl.name] = assign.streams
+        return sim
+
+    def _build_leaf(self, ctrl) -> NodeSim:
+        if isinstance(ctrl, InnerCompute):
+            return InnerComputeSim(ctrl, self.config, self.mem, self.stats,
+                                   self.fifos)
+        if isinstance(ctrl, TileLoad):
+            return TileLoadSim(ctrl, self.config, self.mem, self.stats,
+                               self.dram, self.image)
+        if isinstance(ctrl, TileStore):
+            return TileStoreSim(ctrl, self.config, self.mem, self.stats,
+                                self.dram, self.image)
+        if isinstance(ctrl, Gather):
+            return GatherSim(ctrl, self.config, self.mem, self.stats,
+                             self.dram, self.image)
+        if isinstance(ctrl, Scatter):
+            return ScatterSim(ctrl, self.config, self.mem, self.stats,
+                              self.dram, self.image)
+        if isinstance(ctrl, StreamStore):
+            return StreamStoreSim(ctrl, self.config, self.mem, self.stats,
+                                  self.dram, self.image, self.fifos)
+        raise SimulationError(f"unknown leaf {ctrl!r}")
+
+    def _edges(self, ctrl: OuterController) -> List[DepEdge]:
+        """Producer->consumer edges among the children of one scope."""
+        reads = [_mem_reads(c) for c in ctrl.children]
+        writes = [_mem_writes(c) for c in ctrl.children]
+        edges: List[DepEdge] = []
+        for j in range(len(ctrl.children)):
+            for i in range(j):
+                shared = writes[i] & (reads[j] | writes[j])
+                for name in sorted(shared):
+                    credits = self._credit_of(name)
+                    edges.append(DepEdge(i, j, name, credits))
+        return edges
+
+    def _credit_of(self, name: str) -> int:
+        if name.startswith("dram:"):
+            return 1
+        for sram in self.dhdl.srams:
+            if sram.name == name:
+                return sram.nbuf
+        for reg in self.dhdl.regs:
+            if reg.name == name:
+                return reg.nbuf
+        return 1  # FIFOs handle their own backpressure
+
+    def _fifos_inside(self, ctrl: OuterController) -> List[FifoSim]:
+        if ctrl.scheme is not Scheme.STREAMING:
+            return []
+        names: Set[str] = set()
+        for child in ctrl.children:
+            if isinstance(child, InnerCompute):
+                for stmt in child.stmts:
+                    if isinstance(stmt, EmitStmt):
+                        names.add(stmt.fifo.name)
+            elif isinstance(child, StreamStore):
+                names.add(child.fifo.name)
+        return [self.fifos[n] for n in sorted(names)]
+
+    # -- execution ---------------------------------------------------------------
+    def run(self, max_cycles: int = 20_000_000) -> SimStats:
+        """Run to completion; returns the statistics object."""
+        self.root.start({}, ())
+        last_progress_key = None
+        last_progress_cycle = 0
+        while self.root.busy:
+            self.cycle += 1
+            if self.cycle > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}")
+            self.dram.tick()
+            self.dram.deliver()
+            for outer in self._outers:
+                outer.tick(self.cycle)
+            for leaf in self._leaves:
+                leaf.tick(self.cycle)
+            if self.cycle % 256 == 0:
+                for scratch in self.mem.scratchpads.values():
+                    scratch.retire_old()
+            key = self._progress_key()
+            if key != last_progress_key:
+                last_progress_key = key
+                last_progress_cycle = self.cycle
+            elif self.cycle - last_progress_cycle > self.watchdog:
+                self._raise_deadlock()
+        self._epilogue()
+        return self.stats
+
+    def _progress_key(self) -> Tuple:
+        fifo_flow = sum(f.pushed + f.popped for f in self.fifos.values())
+        completed = sum(sum(o._completed) for o in self._outers)
+        return (self.stats.vector_issues, self.dram.reads,
+                self.dram.writes, self.dram.pending, fifo_flow, completed)
+
+    def _raise_deadlock(self):
+        busy = [leaf.name for leaf in self._leaves if leaf.busy]
+        raise DeadlockError(
+            f"no progress for {self.watchdog} cycles at cycle "
+            f"{self.cycle}; busy leaves: {busy}")
+
+    def _epilogue(self) -> None:
+        self.stats.cycles = self.cycle
+        # write scalar results held in registers back to their DRAM cells
+        for reg_name, array_name in self.dhdl.reg_outputs.items():
+            value = self.mem.registers[reg_name].read()
+            self.image.write_words(array_name, 0, [value])
+        dram_stats = self.dram.stats()
+        self.stats.dram = dram_stats
+        peak_bytes_per_cycle = self.params.dram.peak_gbps  # GB/s == B/ns
+        if self.cycle:
+            self.stats.dram_busy_fraction = min(
+                1.0, dram_stats["bytes"] / (self.cycle
+                                            * peak_bytes_per_cycle))
+
+    # -- results ------------------------------------------------------------------
+    def result(self, name: str) -> np.ndarray:
+        """Final contents of one DRAM collection (logical shape)."""
+        return self.image.as_array(name)
+
+    def scalar(self, name: str):
+        """Final value of one 0-d DRAM cell."""
+        return self.image.scalar(name)

@@ -1,0 +1,234 @@
+"""Outer-controller scheduling: tokens, credits, and streaming.
+
+Implements Section 3.5 of the paper over :class:`NodeSim` children:
+
+* **sequential** — one live iteration; children start in dependency order
+  within it (tokens), the next iteration starts when everything finished;
+  optional early exit when a register reads zero.
+* **coarse-grained pipeline** — up to ``window`` live iterations; a child
+  starts iteration *k* once its producers finished *k* (tokens) and no
+  consumer of its outputs lags more than the intermediate memory's
+  N-buffer depth (credits).
+* **streaming** — all children of an iteration start together and
+  communicate through FIFOs; backpressure is the FIFOs' fullness.
+
+A physical unit executes one activation at a time, so a single child
+never overlaps its own iterations — overlap happens *across* children,
+exactly like the paper's hardware.
+
+Memory versions are hierarchical tuples ``(k0, c0, k1, c1, ...)`` of
+(iteration, child-index) pairs down the controller tree; lexicographic
+order equals production order, so a reader's "newest version <= mine"
+rule sees exactly the writes that architecturally precede it — including
+nested tile-loop accumulation read by a scope-level store, while a
+pipelined producer's *next* iteration stays invisible (N-buffering).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dhdl.control import Scheme
+from repro.dhdl.ir import OuterController
+from repro.errors import SimulationError
+from repro.sim.counters import ChainEnumerator
+from repro.sim.datapath import LaneContext
+from repro.sim.fifo import FifoSim
+from repro.sim.leaves import NodeSim
+from repro.sim.scratchpad import MemoryState
+
+
+class DepEdge:
+    """Producer -> consumer dependency through one memory."""
+
+    def __init__(self, producer: int, consumer: int, mem_name: str,
+                 credits: int):
+        self.producer = producer
+        self.consumer = consumer
+        self.mem_name = mem_name
+        self.credits = max(1, credits)
+
+    def __repr__(self):
+        return (f"DepEdge({self.producer}->{self.consumer} via "
+                f"{self.mem_name}, M={self.credits})")
+
+
+class _IterState:
+    """One in-flight iteration of an outer controller."""
+
+    __slots__ = ("k", "bindings", "version", "status")
+
+    def __init__(self, k: int, bindings: dict, version: tuple,
+                 num_children: int):
+        self.k = k
+        self.bindings = bindings
+        self.version = version
+        self.status = ["pending"] * num_children
+
+
+class OuterControllerSim(NodeSim):
+    """Scheduler for one outer controller's children."""
+
+    def __init__(self, ctrl: OuterController, children: Sequence[NodeSim],
+                 edges: Sequence[DepEdge], mem: MemoryState,
+                 fifos_inside: Sequence[FifoSim] = ()):
+        self.ctrl = ctrl
+        self.name = ctrl.name
+        self.children = list(children)
+        self.edges = list(edges)
+        self.mem = mem
+        self.fifos_inside = list(fifos_inside)
+        self._active = False
+        self._enum: Optional[ChainEnumerator] = None
+        self._live: List[_IterState] = []
+        self._next_k = 0
+        self._completed = [0] * len(self.children)
+        self._stopped = False
+        self._base_bindings: dict = {}
+        # precompute per-child producer and consumer edges
+        self._producers: Dict[int, List[DepEdge]] = {}
+        self._consumers: Dict[int, List[DepEdge]] = {}
+        for edge in self.edges:
+            self._consumers.setdefault(edge.producer, []).append(edge)
+            self._producers.setdefault(edge.consumer, []).append(edge)
+        if ctrl.scheme is Scheme.SEQUENTIAL:
+            self._window = 1
+        elif ctrl.scheme is Scheme.STREAMING:
+            self._window = 1
+        else:
+            depth = max((e.credits for e in self.edges), default=2)
+            self._window = max(2, min(depth + 1, len(self.children) + 1))
+
+    @property
+    def busy(self) -> bool:
+        return self._active
+
+    # -- activation ---------------------------------------------------------------
+    def start(self, bindings: dict, version: int) -> None:
+        if self._active:
+            raise SimulationError(f"{self.name}: started while busy")
+        self._active = True
+        self._base_bindings = dict(bindings)
+        self._base_version = tuple(version)
+        self._live = []
+        self._next_k = 0
+        self._completed = [0] * len(self.children)
+        self._stopped = False
+        if self.ctrl.chain is not None:
+            ctx = LaneContext(self.mem, version)
+
+            def evaluate(expr, bnd):
+                return ctx.eval(expr, bnd, {})
+
+            self._enum = ChainEnumerator(self.ctrl.chain, evaluate,
+                                         bindings)
+        else:
+            self._enum = None
+            self._single_pending = True
+
+    def _next_iteration(self) -> Optional[dict]:
+        """Bindings for the next iteration, or None when exhausted."""
+        if self._stopped:
+            return None
+        if self._enum is None:
+            if getattr(self, "_single_pending", False):
+                self._single_pending = False
+                return dict(self._base_bindings)
+            return None
+        batch = self._enum.next_batch()
+        if batch is None:
+            return None
+        if batch.lanes != 1:
+            raise SimulationError(
+                f"{self.name}: outer counter chains must iterate one "
+                f"step at a time (par=1)")
+        return batch.lane_bindings[0]
+
+    # -- per-cycle ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        if not self._active:
+            return
+        self._materialize()
+        if not self._live:
+            self._active = False
+            for fifo in self.fifos_inside:
+                if fifo.items:
+                    raise SimulationError(
+                        f"{self.name}: FIFO {fifo.decl.name!r} not "
+                        f"drained at controller completion")
+            return
+        if self.ctrl.scheme is Scheme.STREAMING:
+            self._tick_streaming()
+        else:
+            self._tick_tokened()
+
+    def _materialize(self) -> None:
+        while len(self._live) < self._window:
+            bindings = self._next_iteration()
+            if bindings is None:
+                break
+            version = self._base_version + (self._next_k,)
+            self._live.append(_IterState(self._next_k, bindings, version,
+                                         len(self.children)))
+            self._next_k += 1
+            if self.ctrl.scheme is Scheme.STREAMING:
+                for fifo in self.fifos_inside:
+                    fifo.reopen()
+
+    def _can_start(self, child_idx: int, it: _IterState) -> bool:
+        # tokens: all producers done for this iteration
+        for edge in self._producers.get(child_idx, ()):
+            if it.status[edge.producer] != "done":
+                return False
+        # credits: consumers must not lag beyond the buffer depth
+        for edge in self._consumers.get(child_idx, ()):
+            if it.k - self._completed[edge.consumer] >= edge.credits:
+                return False
+        return True
+
+    def _tick_tokened(self) -> None:
+        finished: List[_IterState] = []
+        for it in self._live:
+            for idx, child in enumerate(self.children):
+                state = it.status[idx]
+                if state == "running":
+                    if not child.busy:
+                        it.status[idx] = "done"
+                        self._completed[idx] += 1
+                elif state == "pending":
+                    if child.busy:
+                        continue  # unit occupied by an earlier iteration
+                    if self._earlier_pending(idx, it.k):
+                        continue  # in-order per child
+                    if self._can_start(idx, it):
+                        child.start({**it.bindings}, it.version + (idx,))
+                        it.status[idx] = "running"
+            if all(s == "done" for s in it.status):
+                finished.append(it)
+        for it in finished:
+            self._live.remove(it)
+            self._after_iteration(it)
+
+    def _earlier_pending(self, child_idx: int, k: int) -> bool:
+        for other in self._live:
+            if other.k < k and other.status[child_idx] != "done":
+                return True
+        return False
+
+    def _tick_streaming(self) -> None:
+        it = self._live[0]
+        for idx, child in enumerate(self.children):
+            if it.status[idx] == "pending":
+                child.start({**it.bindings}, it.version + (idx,))
+                it.status[idx] = "running"
+            elif it.status[idx] == "running" and not child.busy:
+                it.status[idx] = "done"
+                self._completed[idx] += 1
+        if all(s == "done" for s in it.status):
+            self._live.remove(it)
+            self._after_iteration(it)
+
+    def _after_iteration(self, it: _IterState) -> None:
+        reg = self.ctrl.stop_when_zero
+        if reg is not None and self.mem.reg(reg).read() == 0:
+            self._stopped = True

@@ -1,0 +1,69 @@
+"""Simulation statistics: cycles, busy counts, utilization, bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.arch.power import UnitActivity
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over one simulated execution."""
+
+    cycles: int = 0
+    #: leaf name -> cycles that leaf was actively issuing
+    busy_cycles: Dict[str, int] = field(default_factory=dict)
+    #: leaf name -> physical PCUs it occupies (for weighting activity)
+    pcus_of: Dict[str, int] = field(default_factory=dict)
+    #: transfer name -> AGs it occupies
+    ags_of: Dict[str, int] = field(default_factory=dict)
+    #: scalar operations executed on PCU datapaths
+    ops_executed: int = 0
+    #: vector issues (one per cycle per active inner controller)
+    vector_issues: int = 0
+    #: cycles lost to scratchpad bank conflicts
+    conflict_cycles: int = 0
+    #: cycles lost to FIFO backpressure
+    fifo_stall_cycles: int = 0
+    #: DRAM statistics snapshot (filled by the machine at the end)
+    dram: Dict[str, int] = field(default_factory=dict)
+    dram_busy_fraction: float = 0.0
+
+    def busy(self, leaf_name: str, cycles: int = 1) -> None:
+        """Charge busy cycles to a leaf."""
+        self.busy_cycles[leaf_name] = (
+            self.busy_cycles.get(leaf_name, 0) + cycles)
+
+    def activity(self, config,
+                 params: PlasticineParams = DEFAULT) -> UnitActivity:
+        """Convert counters into the power model's activity profile."""
+        if self.cycles == 0:
+            return UnitActivity()
+        pcu_busy = sum(self.busy_cycles.get(name, 0) * npcus
+                       for name, npcus in self.pcus_of.items())
+        pcus_used = max(config.pcus_used, 1)
+        pcu_activity = min(1.0, pcu_busy / (self.cycles * pcus_used))
+        ag_busy = sum(self.busy_cycles.get(name, 0) * nags
+                      for name, nags in self.ags_of.items())
+        ags_used = max(config.ags_used, 1)
+        ag_activity = min(1.0, ag_busy / (self.cycles * ags_used))
+        pmu_activity = min(1.0, 0.5 * pcu_activity + 0.5 * ag_activity)
+        return UnitActivity(
+            pcus_used=config.pcus_used,
+            pcu_activity=pcu_activity,
+            pmus_used=config.pmus_used,
+            pmu_activity=pmu_activity,
+            ags_used=config.ags_used,
+            ag_activity=ag_activity,
+            coalescers_used=params.num_coalescing_units,
+            coalescer_activity=self.dram_busy_fraction,
+            switches_used=config.switches_used,
+            switch_activity=pcu_activity * 0.8,
+        )
+
+    def seconds(self, clock_ghz: float = 1.0) -> float:
+        """Wall-clock seconds at the given clock."""
+        return self.cycles / (clock_ghz * 1e9)

@@ -1,0 +1,147 @@
+"""Unit tests for power model, FPGA baseline, and the Table 6 ladder."""
+
+import pytest
+
+from repro.arch import (DEFAULT, DesignRequirements, UnitActivity,
+                        VirtualPcuReq, VirtualPmuReq, WorkloadProfile,
+                        asic_area, chip_power, fpga_power_w, fpga_runtime_s,
+                        ladder, max_chip_power, overhead_table,
+                        power_breakdown)
+
+
+def test_max_power_near_49w():
+    # paper: maximum power of 49 W at 1 GHz
+    assert max_chip_power(DEFAULT) == pytest.approx(49.0, abs=1.5)
+
+
+def test_idle_chip_draws_static_only():
+    idle = chip_power(UnitActivity())
+    assert 2.0 < idle < 8.0
+
+
+def test_power_monotonic_in_activity():
+    low = chip_power(UnitActivity(pcus_used=16, pcu_activity=0.2))
+    high = chip_power(UnitActivity(pcus_used=16, pcu_activity=0.9))
+    assert high > low
+
+
+def test_power_breakdown_sums_to_total():
+    act = UnitActivity(pcus_used=32, pcu_activity=0.5,
+                       pmus_used=20, pmu_activity=0.4,
+                       ags_used=10, ag_activity=0.7,
+                       coalescers_used=4, coalescer_activity=0.6,
+                       switches_used=60, switch_activity=0.3)
+    parts = power_breakdown(act)
+    assert sum(parts.values()) == pytest.approx(chip_power(act))
+
+
+# -- FPGA baseline ------------------------------------------------------------
+
+def _streaming_profile():
+    # ~inner-product-like: negligible compute per byte streamed
+    return WorkloadProfile("stream", flops=1e6, stream_bytes=8e8,
+                           inner_parallelism=16, outer_parallelism=4,
+                           pipeline_ops=2)
+
+
+def test_fpga_streaming_is_bandwidth_bound():
+    profile = _streaming_profile()
+    runtime = fpga_runtime_s(profile)
+    bw_time = profile.stream_bytes / (37.5e9 * 0.85)
+    assert runtime == pytest.approx(bw_time, rel=0.2)
+
+
+def test_fpga_traffic_factor_amplifies_runtime():
+    base = WorkloadProfile("t", stream_bytes=4e8)
+    amplified = WorkloadProfile("t", stream_bytes=4e8,
+                                fpga_traffic_factor=3.0)
+    assert fpga_runtime_s(amplified) == pytest.approx(
+        3 * fpga_runtime_s(base), rel=0.05)
+
+
+def test_fpga_overlap_hides_memory_time():
+    balanced = dict(flops=3e8, stream_bytes=8e8,
+                    inner_parallelism=1024, outer_parallelism=1)
+    none = WorkloadProfile("t", fpga_overlap=0.0, **balanced)
+    full = WorkloadProfile("t", fpga_overlap=1.0, **balanced)
+    assert fpga_runtime_s(none) > fpga_runtime_s(full)
+
+
+def test_fpga_random_access_much_slower_than_stream():
+    dense = WorkloadProfile("d", stream_bytes=4e7)
+    sparse = WorkloadProfile("s", random_accesses=1e7)  # same useful bytes
+    assert fpga_runtime_s(sparse) > 5 * fpga_runtime_s(dense)
+
+
+def test_fpga_compute_bound_scales_with_flops():
+    small = WorkloadProfile("c1", flops=1e8, inner_parallelism=1024,
+                            outer_parallelism=64)
+    large = WorkloadProfile("c2", flops=4e8, inner_parallelism=1024,
+                            outer_parallelism=64)
+    assert fpga_runtime_s(large) == pytest.approx(
+        4 * fpga_runtime_s(small), rel=0.05)
+
+
+def test_fpga_power_in_paper_range():
+    profile = _streaming_profile()
+    assert 20.0 <= fpga_power_w(profile) <= 35.0
+
+
+def test_fpga_sequential_latency_dominates_serial_apps():
+    serial = WorkloadProfile("s", flops=1e4, sequential_iters=100000,
+                             pipeline_ops=30)
+    parallel = WorkloadProfile("p", flops=1e4, sequential_iters=1,
+                               pipeline_ops=30)
+    assert fpga_runtime_s(serial) > 100 * fpga_runtime_s(parallel)
+
+
+# -- ASIC / Table 6 ladder ------------------------------------------------------
+
+def _small_design():
+    return DesignRequirements(
+        "toy",
+        pcus=[VirtualPcuReq(stages=5, live_regs=4, vector_in=2,
+                            vector_out=1),
+              VirtualPcuReq(stages=9, live_regs=3, lanes_used=16)],
+        pmus=[VirtualPmuReq(kb=64.0), VirtualPmuReq(kb=200.0)])
+
+
+def test_ladder_is_monotonic():
+    areas = ladder(_small_design())
+    assert (areas["asic"] < areas["a"] <= areas["b"] <= areas["c"]
+            <= areas["d"] <= areas["e"] * 1.0001)
+
+
+def test_reconfigurable_overhead_in_paper_range():
+    # paper: step (a) averages ~2.8x over ASIC across benchmarks
+    table = overhead_table(_small_design())
+    assert 1.5 < table["a"] < 9.0
+
+
+def test_sequential_lanes_inflate_step_c():
+    wide = DesignRequirements(
+        "wide", pcus=[VirtualPcuReq(stages=4, lanes_used=16)] * 4,
+        pmus=[VirtualPmuReq(kb=64.0)])
+    narrow = DesignRequirements(
+        "narrow", pcus=[VirtualPcuReq(stages=4, lanes_used=1)] * 4,
+        pmus=[VirtualPmuReq(kb=64.0)])
+    # 1-lane virtual units waste 15/16 of a homogeneous unit
+    assert (overhead_table(narrow)["c"]
+            > overhead_table(wide)["c"])
+
+
+def test_asic_area_scales_with_requirements():
+    small = DesignRequirements("s", pcus=[VirtualPcuReq(stages=4)],
+                               pmus=[VirtualPmuReq(kb=16.0)])
+    big = DesignRequirements("b", pcus=[VirtualPcuReq(stages=4)] * 10,
+                             pmus=[VirtualPmuReq(kb=16.0)] * 10)
+    # the fixed memory-controller area damps but must not hide scaling
+    assert asic_area(big) > 2.5 * asic_area(small)
+
+
+def test_cumulative_matches_product_of_successive():
+    table = overhead_table(_small_design())
+    cum = 1.0
+    for step in ("a", "b", "c", "d", "e"):
+        cum *= table[step]
+        assert table[f"{step}_cum"] == pytest.approx(cum, rel=1e-9)

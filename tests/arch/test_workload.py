@@ -1,0 +1,30 @@
+"""Unit tests for workload profiles."""
+
+import pytest
+
+from repro.arch.workload import WorkloadProfile
+
+
+def test_total_bytes_counts_random_payload():
+    profile = WorkloadProfile("t", stream_bytes=1000,
+                              random_accesses=250)
+    assert profile.total_bytes == 1000 + 4 * 250
+
+
+def test_arithmetic_intensity():
+    profile = WorkloadProfile("t", flops=4000, stream_bytes=1000)
+    assert profile.arithmetic_intensity == pytest.approx(4.0)
+
+
+def test_arithmetic_intensity_no_traffic():
+    profile = WorkloadProfile("t", flops=10)
+    assert profile.arithmetic_intensity == float("inf")
+
+
+def test_defaults_are_sane():
+    profile = WorkloadProfile("t")
+    assert profile.fpga_traffic_factor == 1.0
+    assert 0 <= profile.fpga_overlap <= 1
+    assert profile.fpga_parallelism is None
+    assert profile.plasticine_parallelism is None
+    assert profile.sequential_iters == 1

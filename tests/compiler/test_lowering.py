@@ -1,0 +1,166 @@
+"""Unit tests for the pattern-to-DHDL lowering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.lowering import Lowerer, lower
+from repro.dhdl import (BankingMode, Gather, InnerCompute,
+                        OuterController, Scatter, Scheme, StreamStore,
+                        TileLoad, TileStore)
+from repro.errors import LoweringError
+from repro.patterns import Dyn, Fold, Program
+from repro.patterns import expr as E
+
+
+def leaves_of(dhdl, kind):
+    return [l for l in dhdl.leaves() if isinstance(l, kind)]
+
+
+def test_large_array_is_tiled_with_double_buffering():
+    p = Program("t")
+    n = 100_000  # way over the whole-array budget
+    a = p.input("a", (n,), data=np.zeros(n, dtype=np.float32))
+    o = p.output("o", (n,))
+    p.map("scale", o, n, lambda i: a[i] * 2.0)
+    dhdl = lower(p)
+    loads = leaves_of(dhdl, TileLoad)
+    assert loads
+    a_tiles = [l for l in loads if l.dram.name == "a"]
+    assert a_tiles[0].sram.nbuf == 2  # double buffered
+    assert a_tiles[0].tile_shape[0] < n
+
+
+def test_small_array_loaded_whole():
+    p = Program("t")
+    a = p.input("a", (64,), data=np.zeros(64, dtype=np.float32))
+    o = p.output("o")
+    p.fold("sum", o, 64, 0.0, lambda i: a[i], lambda x, y: x + y)
+    dhdl = Lowerer(p, tile_words=1024).lower()
+    loads = leaves_of(dhdl, TileLoad)
+    assert any(l.tile_shape == (64,) for l in loads)
+
+
+def test_offchip_random_reads_become_gathers():
+    p = Program("t")
+    idx = p.input("idx", (32,), E.INT32,
+                  data=np.zeros(32, dtype=np.int32))
+    table = p.input("tbl", (64,), data=np.zeros(64, dtype=np.float32),
+                    offchip=True)
+    o = p.output("o", (32,))
+    p.map("g", o, 32, lambda i: table[idx[i]])
+    dhdl = lower(p)
+    gathers = leaves_of(dhdl, Gather)
+    assert len(gathers) == 1
+    assert gathers[0].dst_sram.banking is BankingMode.DUPLICATION
+
+
+def test_onchip_random_reads_use_duplication_buffer():
+    p = Program("t")
+    idx = p.input("idx", (32,), E.INT32,
+                  data=np.zeros(32, dtype=np.int32))
+    table = p.input("tbl", (64,), data=np.zeros(64, dtype=np.float32))
+    o = p.output("o", (32,))
+    p.map("g", o, 32, lambda i: table[idx[i]])
+    dhdl = lower(p)
+    assert not leaves_of(dhdl, Gather)  # served on chip
+    tbl_srams = [s for s in dhdl.srams if s.name.startswith("tbl")]
+    assert tbl_srams[0].banking is BankingMode.DUPLICATION
+
+
+def test_sliding_window_gets_line_buffer():
+    p = Program("t")
+    img = p.input("img", (16,), data=np.zeros(16, dtype=np.float32))
+    o = p.output("o", (14,))
+    p.map("blur", o, 14,
+          lambda i: Fold(3, 0.0, lambda k: img[i + k] * (1.0 / 3),
+                         lambda x, y: x + y))
+    dhdl = lower(p)
+    img_srams = [s for s in dhdl.srams if s.name.startswith("img")]
+    assert img_srams[0].banking is BankingMode.LINE_BUFFER
+
+
+def test_flatmap_lowered_to_streaming_scope():
+    p = Program("t")
+    a = p.input("a", (64,), data=np.zeros(64, dtype=np.float32))
+    n_out = p.output("n", (), E.INT32)
+    kept = p.output("kept", (Dyn(n_out),), max_elems=64)
+    p.filter("pos", kept, n_out, 64, lambda i: a[i] > 0.0,
+             lambda i: a[i])
+    dhdl = lower(p)
+    streams = [c for c in dhdl.controllers()
+               if isinstance(c, OuterController)
+               and c.scheme is Scheme.STREAMING]
+    assert streams
+    assert leaves_of(dhdl, StreamStore)
+
+
+def test_scatter_step_lowered_to_scatter_node():
+    p = Program("t")
+    idx = p.input("idx", (16,), E.INT32,
+                  data=np.arange(16, dtype=np.int32))
+    tgt = p.temp("tgt", (16,), E.INT32,
+                 data=np.zeros(16, dtype=np.int32))
+    p.scatter("sc", tgt, 16, index=lambda i: idx[i],
+              value=lambda i: E.to_int(i))
+    dhdl = lower(p)
+    assert leaves_of(dhdl, Scatter)
+
+
+def test_loop_becomes_sequential_controller():
+    p = Program("t")
+    x = p.temp("x", (), E.FLOAT32, data=np.float32(1.0))
+    with p.loop("iters", 5):
+        p.update("double", x, lambda: x.scalar() * 2.0)
+    dhdl = lower(p)
+    loops = [c for c in dhdl.controllers()
+             if isinstance(c, OuterController)
+             and c.scheme is Scheme.SEQUENTIAL and c.chain is not None]
+    assert any(c.max_trip == 5 for c in loops)
+
+
+def test_fold_results_map_to_registers():
+    p = Program("t")
+    a = p.input("a", (64,), data=np.zeros(64, dtype=np.float32))
+    o = p.output("o")
+    p.fold("sum", o, 64, 0.0, lambda i: a[i], lambda x, y: x + y)
+    dhdl = lower(p)
+    assert any(name == "o" for name in dhdl.reg_outputs.values())
+
+
+def test_untileable_huge_array_rejected():
+    p = Program("t")
+    idx = p.input("idx", (100_000,), E.INT32)
+    idx.set_data(np.zeros(100_000, dtype=np.int32))
+    o = p.output("o", (64,))
+    # random access into a huge *on-chip-required* table: the direct
+    # read of idx[i*i] is non-affine and the array cannot be resident
+    p.map("bad", o, 64, lambda i: E.to_float(idx[i * i]))
+    with pytest.raises(LoweringError):
+        lower(p)
+
+
+def test_bank_stride_configured_for_column_access():
+    p = Program("t")
+    m = p.input("m", (16, 16), data=np.zeros((16, 16),
+                                             dtype=np.float32))
+    o = p.output("o", (16,))
+    # column sums: vector lanes stride by the row length
+    p.map("colsum", o, 16,
+          lambda j: Fold(16, 0.0, lambda i: m[i, j],
+                         lambda x, y: x + y)).set_par(1, inner=16)
+    dhdl = lower(p)
+    m_srams = [s for s in dhdl.srams if s.name.startswith("m")]
+    assert m_srams[0].bank_stride == 16
+
+
+def test_address_class_marking():
+    p = Program("t")
+    a = p.input("a", (64,), data=np.zeros(64, dtype=np.float32))
+    o = p.output("o")
+    p.fold("sum", o, 64, 0.0, lambda i: a[i], lambda x, y: x + y)
+    dhdl = lower(p)
+    inits = [l for l in dhdl.leaves() if isinstance(l, InnerCompute)
+             and l.address_class]
+    bodies = [l for l in dhdl.leaves() if isinstance(l, InnerCompute)
+              and not l.address_class]
+    assert inits and bodies

@@ -1,0 +1,63 @@
+"""Coverage for pretty-printing every controller and statement kind."""
+
+from repro.dhdl import (BankingMode, Counter, CounterChain, DhdlProgram,
+                        EmitStmt, Gather, HashReduceStmt, InnerCompute,
+                        OuterController, ReduceStmt, Scatter, Scheme,
+                        StreamStore, TileLoad, TileStore, WriteStmt,
+                        format_expr, format_program)
+from repro.patterns import Array
+from repro.patterns import expr as E
+
+
+def test_format_expr_all_node_kinds():
+    a = Array("a", (4,))
+    i = E.Idx("i")
+    v = E.Var("acc")
+    text = format_expr(E.select(a[i] > v, -a[i], E.exp(a[i] + 1.0)))
+    for fragment in ("sel(", "a[i]", "gt", "neg", "exp", "acc"):
+        assert fragment in text
+
+
+def test_format_program_every_leaf_kind():
+    prog = DhdlProgram("full")
+    arr = Array("x", (64,), E.FLOAT32)
+    idx_arr = Array("idx", (16,), E.INT32)
+    dram = prog.dram(arr)
+    dram_idx = prog.dram(idx_arr)
+    tile = prog.sram("tile", (64,), E.FLOAT32, nbuf=2)
+    addr = prog.sram("addr", (16,), E.INT32)
+    dst = prog.sram("dst", (16,), E.FLOAT32,
+                    banking=BankingMode.DUPLICATION)
+    bins = prog.sram("bins", (8,), E.INT32)
+    acc = prog.reg("acc", init=0.0)
+    fifo = prog.fifo("stream_out")
+    count = prog.reg("count", E.INT32)
+
+    seq = OuterController("seq", Scheme.SEQUENTIAL,
+                          chain=CounterChain([Counter(0, 3)],
+                                             [E.Idx("t")]))
+    prog.root.add(seq)
+    seq.add(TileLoad("ld", dram, tile, (0,), (64,)))
+    seq.add(TileLoad("ld_idx", dram_idx, addr, (0,), (16,)))
+    seq.add(Gather("gat", dram, addr, dst))
+    i = E.Idx("i")
+    va, vb = E.Var("a0"), E.Var("b0")
+    seq.add(InnerCompute("work", CounterChain([Counter(0, 64, par=16)],
+                                              [i]), [
+        WriteStmt(tile, (i,), tile[i] * 2.0),
+        ReduceStmt((acc,), (tile[i],), (va + vb,), (va,), (vb,), (0.0,),
+                   carry=True),
+        HashReduceStmt(bins, E.to_int(tile[i]), 1, va + vb, va, vb, 0),
+        EmitStmt(fifo, tile[i] > 0.0, tile[i]),
+    ]))
+    seq.add(StreamStore("drain", dram, fifo, count, accumulate=True))
+    seq.add(Scatter("scat", dram, addr, dst))
+    seq.add(TileStore("st", dram, tile, (0,), (64,)))
+
+    text = format_program(prog)
+    for fragment in ("sequential seq", "load x[0]", "gather x[addr]",
+                     "inner work", "(+)=", "[carry]", "emit",
+                     "stream stream_out", "accumulate",
+                     "scatter dst", "store tile", "nbuf=2",
+                     "duplication", "par 16"):
+        assert fragment in text, fragment

@@ -1,0 +1,113 @@
+"""Unit tests for DHDL structural validation."""
+
+import pytest
+
+from repro.dhdl import (Counter, CounterChain, DhdlProgram, EmitStmt,
+                        InnerCompute, OuterController, Scheme, TileLoad,
+                        TileStore, WriteStmt, validate)
+from repro.errors import IRError
+from repro.patterns import Array
+from repro.patterns import expr as E
+
+
+def chain1(n, par=1):
+    i = E.Idx("i")
+    return CounterChain([Counter(0, n, par=par)], [i]), i
+
+
+def test_empty_outer_rejected():
+    prog = DhdlProgram("t")
+    prog.root.add(OuterController("empty", Scheme.PIPELINE))
+    with pytest.raises(IRError):
+        validate(prog)
+
+
+def test_unwritten_memory_read_rejected():
+    prog = DhdlProgram("t")
+    sram = prog.sram("phantom", (8,), E.FLOAT32)
+    out = prog.sram("out", (8,), E.FLOAT32)
+    ch, i = chain1(8)
+    body = OuterController("pipe", Scheme.PIPELINE)
+    prog.root.add(body)
+    body.add(InnerCompute("k", ch, [WriteStmt(out, (i,), sram[i])]))
+    with pytest.raises(IRError, match="phantom"):
+        validate(prog)
+
+
+def test_initialised_register_needs_no_writer():
+    prog = DhdlProgram("t")
+    reg = prog.reg("seed", E.FLOAT32, init=1.0)
+    out = prog.sram("out", (8,), E.FLOAT32)
+    ch, i = chain1(8)
+    body = OuterController("pipe", Scheme.PIPELINE)
+    prog.root.add(body)
+    body.add(InnerCompute("k", ch,
+                          [WriteStmt(out, (i,), reg.read())]))
+    validate(prog)  # must not raise
+
+
+def test_direct_dram_read_rejected():
+    prog = DhdlProgram("t")
+    dram = prog.dram(Array("big", (64,)))
+    out = prog.sram("out", (8,), E.FLOAT32)
+    ch, i = chain1(8)
+    body = OuterController("pipe", Scheme.PIPELINE)
+    prog.root.add(body)
+    body.add(InnerCompute("k", ch,
+                          [WriteStmt(out, (i,), E.Load(dram, (i,)))]))
+    with pytest.raises(IRError, match="DRAM"):
+        validate(prog)
+
+
+def test_out_of_scope_index_rejected():
+    prog = DhdlProgram("t")
+    out = prog.sram("out", (8,), E.FLOAT32)
+    ch, i = chain1(8)
+    foreign = E.Idx("foreign")
+    body = OuterController("pipe", Scheme.PIPELINE)
+    prog.root.add(body)
+    body.add(InnerCompute("k", ch,
+                          [WriteStmt(out, (i,), foreign * 1)]))
+    with pytest.raises(IRError, match="out of scope"):
+        validate(prog)
+
+
+def test_tile_larger_than_dram_rejected():
+    prog = DhdlProgram("t")
+    dram = prog.dram(Array("small", (8,)))
+    sram = prog.sram("tile", (16,), E.FLOAT32)
+    body = OuterController("pipe", Scheme.PIPELINE)
+    prog.root.add(body)
+    body.add(TileLoad("ld", dram, sram, (0,), (16,)))
+    ch, i = chain1(16)
+    out = prog.sram("out", (16,), E.FLOAT32)
+    body.add(InnerCompute("k", ch, [WriteStmt(out, (i,), sram[i])]))
+    with pytest.raises(IRError, match="exceeds"):
+        validate(prog)
+
+
+def test_store_of_unwritten_tile_rejected():
+    prog = DhdlProgram("t")
+    dram = prog.dram(Array("o", (8,)))
+    sram = prog.sram("never", (8,), E.FLOAT32)
+    body = OuterController("pipe", Scheme.PIPELINE)
+    prog.root.add(body)
+    body.add(TileStore("st", dram, sram, (0,), (8,)))
+    with pytest.raises(IRError, match="never"):
+        validate(prog)
+
+
+def test_streaming_siblings_must_use_fifos():
+    prog = DhdlProgram("t")
+    shared = prog.sram("shared", (8,), E.FLOAT32)
+    out = prog.fifo("sink")
+    stream = OuterController("s", Scheme.STREAMING)
+    prog.root.add(stream)
+    ch1, i1 = chain1(8)
+    stream.add(InnerCompute("producer", ch1,
+                            [WriteStmt(shared, (i1,), i1 * 1)]))
+    ch2, i2 = chain1(8)
+    stream.add(InnerCompute("consumer", ch2,
+                            [EmitStmt(out, True, shared[i2])]))
+    with pytest.raises(IRError, match="FIFO"):
+        validate(prog)

@@ -1,0 +1,90 @@
+"""Unit tests for symbolic collections."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import Array, Dyn, scalar_cell
+from repro.patterns import expr as E
+
+
+def test_basic_array_properties():
+    a = Array("a", (4, 8), E.FLOAT32)
+    assert a.ndim == 2
+    assert not a.is_dynamic
+    assert a.static_elems() == 32
+    assert a.bytes() == 128
+
+
+def test_scalar_cell():
+    s = scalar_cell("s", E.INT32, 7)
+    assert s.shape == ()
+    assert s.data[()] == 7
+    assert isinstance(s.scalar(), E.Load)
+
+
+def test_scalar_read_requires_0d():
+    a = Array("a", (4,))
+    with pytest.raises(PatternError):
+        a.scalar()
+
+
+def test_indexing_builds_load():
+    a = Array("a", (4, 8))
+    i, j = E.Idx("i"), E.Idx("j")
+    load = a[i, j]
+    assert isinstance(load, E.Load)
+    assert load.array is a
+    assert load.dtype == E.FLOAT32
+
+
+def test_indexing_wrong_rank_rejected():
+    a = Array("a", (4, 8))
+    with pytest.raises(Exception):
+        _ = a[E.Idx("i")]
+
+
+def test_negative_extent_rejected():
+    with pytest.raises(PatternError):
+        Array("a", (0,))
+    with pytest.raises(PatternError):
+        Array("a", (-3, 2))
+
+
+def test_set_data_shape_check():
+    a = Array("a", (2, 2))
+    with pytest.raises(PatternError):
+        a.set_data(np.zeros((3, 3)))
+    a.set_data(np.ones((2, 2)))
+    assert a.data.dtype == np.float32
+
+
+def test_dynamic_array_needs_length_cell():
+    length = scalar_cell("n", E.INT32)
+    out = Array("out", (Dyn(length),), E.FLOAT32, max_elems=16)
+    assert out.is_dynamic
+    assert out.static_elems() == 16
+    assert out.bytes() == 64
+
+
+def test_dyn_requires_int32_0d():
+    with pytest.raises(PatternError):
+        Dyn(Array("x", (4,), E.INT32))
+    with pytest.raises(PatternError):
+        Dyn(Array("x", (), E.FLOAT32))
+
+
+def test_dynamic_without_bound_rejected_on_sizing():
+    length = scalar_cell("n", E.INT32)
+    out = Array("out", (Dyn(length),), E.FLOAT32)
+    with pytest.raises(PatternError):
+        out.static_elems()
+
+
+def test_dynamic_data_within_bound():
+    length = scalar_cell("n", E.INT32)
+    out = Array("out", (Dyn(length),), E.FLOAT32, max_elems=4)
+    with pytest.raises(PatternError):
+        out.set_data(np.zeros(9))
+    out.set_data(np.zeros(3))
+    assert out.data.size == 3

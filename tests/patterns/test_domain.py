@@ -1,0 +1,88 @@
+"""Unit tests for domain normalization."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import Array, Dyn, scalar_cell
+from repro.patterns import expr as E
+from repro.patterns.domain import (DynDim, RangeDim, StaticDim,
+                                   normalize_domain, static_trip_count)
+
+
+def test_single_int_domain():
+    dims, idxs = normalize_domain(8)
+    assert len(dims) == 1
+    assert isinstance(dims[0], StaticDim)
+    assert dims[0].extent == 8
+    assert idxs[0].extent == 8
+
+
+def test_multi_dim_domain():
+    dims, idxs = normalize_domain((4, 8, 2))
+    assert [d.extent for d in dims] == [4, 8, 2]
+    assert len(idxs) == 3
+    assert static_trip_count(dims) == 64
+
+
+def test_zero_extent_rejected():
+    with pytest.raises(PatternError):
+        normalize_domain(0)
+    with pytest.raises(PatternError):
+        normalize_domain((4, -1))
+
+
+def test_bool_extent_rejected():
+    with pytest.raises(PatternError):
+        normalize_domain(True)
+
+
+def test_empty_domain_rejected():
+    with pytest.raises(PatternError):
+        normalize_domain(())
+
+
+def test_dyn_domain():
+    cell = scalar_cell("n", E.INT32)
+    dims, idxs = normalize_domain(Dyn(cell))
+    assert isinstance(dims[0], DynDim)
+    assert dims[0].extent_hint() >= 1
+
+
+def test_expr_range_domain():
+    ptr = Array("ptr", (9,), E.INT32)
+    i = E.Idx("i")
+    dims, idxs = normalize_domain((ptr[i], ptr[i + 1]))
+    assert len(dims) == 1
+    assert isinstance(dims[0], RangeDim)
+
+
+def test_callable_range_uses_earlier_indices():
+    ptr = Array("ptr", (9,), E.INT32)
+    dims, idxs = normalize_domain(
+        (8, lambda i: (ptr[i], ptr[i + 1])))
+    assert isinstance(dims[0], StaticDim)
+    assert isinstance(dims[1], RangeDim)
+    # the range's bounds must reference the first dim's index
+    used = set(E.collect_indices(dims[1].lo))
+    assert idxs[0] in used
+
+
+def test_callable_must_return_pair():
+    with pytest.raises(PatternError):
+        normalize_domain((4, lambda i: i))
+
+
+def test_prev_indices_threaded():
+    outer = E.Idx("outer")
+    dims, idxs = normalize_domain(
+        lambda o: (o, o + 4), prev_indices=[outer])
+    assert isinstance(dims[0], RangeDim)
+    assert outer in set(E.collect_indices(dims[0].lo))
+
+
+def test_trip_count_uses_hints_for_dynamic():
+    cell = scalar_cell("n", E.INT32)
+    cell.max_elems = None
+    dyn_cell = Array("m", (), E.INT32)
+    dims, _ = normalize_domain((4, Dyn(dyn_cell)))
+    assert static_trip_count(dims) >= 4

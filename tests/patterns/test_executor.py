@@ -1,0 +1,211 @@
+"""Integration tests for the reference executor over whole programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.patterns import (Dyn, Fold, Program, run_program, scalar_cell,
+                            select, to_float, to_int)
+from repro.patterns import expr as E
+
+
+def test_map_elementwise():
+    p = Program("t")
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal(16).astype(np.float32)
+    a = p.input("a", (16,), data=data)
+    o = p.output("o", (16,))
+    p.map("scale", o, 16, lambda i: a[i] * 3.0 + 1.0)
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["o"], data * 3 + 1, rtol=1e-6)
+
+
+def test_map_zip_two_inputs():
+    p = Program("t")
+    a = p.input("a", (8,), data=np.arange(8, dtype=np.float32))
+    b = p.input("b", (8,), data=np.ones(8, dtype=np.float32))
+    o = p.output("o", (8,))
+    p.map("add", o, 8, lambda i: a[i] + b[i])
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["o"], np.arange(8) + 1)
+
+
+def test_fold_sum():
+    p = Program("t")
+    data = np.arange(32, dtype=np.float32)
+    a = p.input("a", (32,), data=data)
+    s = p.output("s")
+    p.fold("sum", s, 32, 0.0, lambda i: a[i], lambda x, y: x + y)
+    env = run_program(p)
+    assert env.scalar(p.arrays["s"]) == pytest.approx(data.sum())
+
+
+def test_fold_multi_accumulator_argmin():
+    p = Program("t")
+    data = np.array([5.0, 2.0, 7.0, 1.0, 9.0], dtype=np.float32)
+    a = p.input("a", (5,), data=data)
+    best = p.output("best")
+    arg = p.output("arg", (), E.INT32)
+    p.fold("argmin", (best, arg), 5, (1e30, 0),
+           lambda i: (a[i], to_int(i) * 1),
+           lambda x, y: (select(y[0] < x[0], y[0], x[0]),
+                         select(y[0] < x[0], y[1], x[1])))
+    env = run_program(p)
+    assert env.scalar(best) == pytest.approx(1.0)
+    assert env.scalar(arg) == 3
+
+
+def test_map_of_fold_gemm():
+    p = Program("gemm")
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((5, 7)).astype(np.float32)
+    B = rng.standard_normal((7, 3)).astype(np.float32)
+    a = p.input("a", (5, 7), data=A)
+    b = p.input("b", (7, 3), data=B)
+    c = p.output("c", (5, 3))
+    p.map("mm", c, (5, 3),
+          lambda i, j: Fold(7, 0.0, lambda k: a[i, k] * b[k, j],
+                            lambda x, y: x + y))
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["c"], A @ B, rtol=1e-5)
+
+
+def test_filter_and_length():
+    p = Program("t")
+    data = np.array([1.0, -2.0, 3.0, -4.0, 5.0], dtype=np.float32)
+    a = p.input("a", (5,), data=data)
+    n = p.output("n", (), E.INT32)
+    kept = p.output("kept", (Dyn(n),), max_elems=5)
+    p.filter("pos", kept, n, 5, lambda i: a[i] > 0.0, lambda i: a[i])
+    env = run_program(p)
+    assert env.scalar(n) == 3
+    np.testing.assert_allclose(env.buffers["kept"][:3], [1.0, 3.0, 5.0])
+
+
+def test_flatmap_overflow_detected():
+    p = Program("t")
+    a = p.input("a", (5,), data=np.ones(5, dtype=np.float32))
+    n = p.output("n", (), E.INT32)
+    kept = p.output("kept", (Dyn(n),), max_elems=2)
+    p.filter("all", kept, n, 5, lambda i: a[i] > 0.0, lambda i: a[i])
+    with pytest.raises(SimulationError):
+        run_program(p)
+
+
+def test_hash_reduce_histogram():
+    p = Program("t")
+    vals = np.array([0, 1, 2, 1, 0, 1, 3, 3], dtype=np.int32)
+    v = p.input("v", (8,), E.INT32, data=vals)
+    h = p.output("h", (4,), E.INT32)
+    p.hash_reduce("hist", h, 8, 4, key=lambda i: v[i],
+                  value=lambda i: 1, r=lambda x, y: x + y, init=0)
+    env = run_program(p)
+    np.testing.assert_array_equal(env.buffers["h"],
+                                  np.bincount(vals, minlength=4))
+
+
+def test_hash_reduce_key_out_of_range():
+    p = Program("t")
+    v = p.input("v", (4,), E.INT32, data=np.array([0, 1, 2, 9]))
+    h = p.output("h", (4,), E.INT32)
+    p.hash_reduce("hist", h, 4, 4, key=lambda i: v[i],
+                  value=lambda i: 1, r=lambda x, y: x + y, init=0)
+    with pytest.raises(SimulationError):
+        run_program(p)
+
+
+def test_scatter_map():
+    p = Program("t")
+    idx = p.input("idx", (4,), E.INT32, data=np.array([3, 0, 2, 1]))
+    tgt = p.temp("tgt", (4,), E.INT32,
+                 data=np.full(4, -1, dtype=np.int32))
+    p.scatter("sc", tgt, 4, index=lambda i: idx[i],
+              value=lambda i: to_int(i) * 10)
+    env = run_program(p)
+    np.testing.assert_array_equal(env.buffers["tgt"], [10, 30, 20, 0])
+
+
+def test_scatter_bounds_checked():
+    p = Program("t")
+    idx = p.input("idx", (2,), E.INT32, data=np.array([0, 7]))
+    tgt = p.temp("tgt", (4,), E.INT32, data=np.zeros(4, dtype=np.int32))
+    p.scatter("sc", tgt, 2, index=lambda i: idx[i], value=lambda i: 1)
+    with pytest.raises(SimulationError):
+        run_program(p)
+
+
+def test_gather_through_index_array():
+    p = Program("t")
+    idx = p.input("idx", (4,), E.INT32, data=np.array([2, 0, 3, 1]))
+    data = p.input("d", (4,), data=np.array([10., 20., 30., 40.],
+                                            dtype=np.float32))
+    o = p.output("o", (4,))
+    p.map("gather", o, 4, lambda i: data[idx[i]])
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["o"], [30., 10., 40., 20.])
+
+
+def test_sequential_loop_accumulates():
+    p = Program("t")
+    x = p.temp("x", (), E.FLOAT32, data=np.float32(1.0))
+    xn = p.temp("xn", (), E.FLOAT32)
+    with p.loop("iters", 5):
+        p.map("double", xn, 1, lambda i: x.scalar() * 2.0)
+        p.map("copy", x, 1, lambda i: xn.scalar())
+    env = run_program(p)
+    assert env.scalar(x) == pytest.approx(32.0)
+
+
+def test_loop_early_exit_on_zero():
+    p = Program("t")
+    count = p.temp("count", (), E.INT32, data=np.int32(3))
+    with p.loop("lvl", 100, stop_when_zero=count):
+        p.map("dec", count, 1, lambda i: count.scalar() - 1)
+    env = run_program(p)
+    assert env.scalar(count) == 0
+
+
+def test_csr_row_sums_with_range_dims():
+    # 3 rows: [a b | c | d e f]
+    p = Program("t")
+    ptr = p.input("ptr", (4,), E.INT32, data=np.array([0, 2, 3, 6]))
+    val = p.input("val", (6,),
+                  data=np.array([1., 2., 3., 4., 5., 6.], dtype=np.float32))
+    o = p.output("o", (3,))
+    p.map("rowsum", o, 3,
+          lambda i: Fold((ptr[i], ptr[i + 1]), 0.0,
+                         lambda j: val[j], lambda x, y: x + y))
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["o"], [3., 3., 15.])
+
+
+def test_dynamic_map_over_filter_output():
+    p = Program("t")
+    data = np.array([1.0, -2.0, 3.0, -4.0, 5.0], dtype=np.float32)
+    a = p.input("a", (5,), data=data)
+    n = p.output("n", (), E.INT32)
+    kept = p.temp("kept", (Dyn(n),), max_elems=5)
+    doubled = p.output("doubled", (Dyn(n),), max_elems=5)
+    p.filter("pos", kept, n, 5, lambda i: a[i] > 0.0, lambda i: a[i])
+    p.map("x2", doubled, Dyn(n), lambda i: kept[i] * 2.0)
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["doubled"][:3], [2., 6., 10.])
+
+
+def test_out_of_bounds_read_detected():
+    p = Program("t")
+    a = p.input("a", (4,), data=np.zeros(4, dtype=np.float32))
+    o = p.output("o", (4,))
+    p.map("oob", o, 4, lambda i: a[i + 1])
+    with pytest.raises(SimulationError):
+        run_program(p)
+
+
+def test_float32_rounding_applied():
+    p = Program("t")
+    a = p.input("a", (1,), data=np.array([1.0], dtype=np.float32))
+    o = p.output("o", (1,))
+    p.map("tiny", o, 1, lambda i: a[i] + 1e-10)
+    env = run_program(p)
+    # float32 cannot represent 1 + 1e-10
+    assert env.buffers["o"][0] == np.float32(1.0)

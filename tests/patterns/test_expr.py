@@ -1,0 +1,129 @@
+"""Unit tests for the symbolic expression IR."""
+
+import math
+
+import pytest
+
+from repro.errors import TraceError
+from repro.patterns import expr as E
+
+
+def test_wrap_numbers():
+    assert isinstance(E.wrap(3), E.Const)
+    assert E.wrap(3).dtype == E.INT32
+    assert E.wrap(3.5).dtype == E.FLOAT32
+    assert E.wrap(True).dtype == E.BOOL
+    node = E.Const(1)
+    assert E.wrap(node) is node
+
+
+def test_wrap_rejects_foreign_types():
+    with pytest.raises(TraceError):
+        E.wrap("hello")
+
+
+def test_operator_overloading_builds_binops():
+    i = E.Idx("i")
+    node = (i + 1) * 2 - 3
+    assert isinstance(node, E.BinOp)
+    assert node.op == "sub"
+    assert node.lhs.op == "mul"
+    assert node.lhs.lhs.op == "add"
+
+
+def test_reflected_operators():
+    i = E.Idx("i")
+    node = 10 - i
+    assert node.op == "sub"
+    assert isinstance(node.lhs, E.Const) and node.lhs.value == 10
+
+
+def test_dtype_promotion():
+    i = E.Idx("i")
+    assert (i + 1).dtype == E.INT32
+    assert (i + 1.0).dtype == E.FLOAT32
+    assert (i < 1).dtype == E.BOOL
+
+
+def test_dtype_unify_rejects_bool_plus_int():
+    with pytest.raises(TraceError):
+        E.unify_dtypes(E.BOOL, E.INT32)
+
+
+def test_comparison_ops_are_bool():
+    i = E.Idx("i")
+    for node in (i < 1, i <= 1, i > 1, i >= 1, i.eq(1), i.ne(1)):
+        assert node.dtype == E.BOOL
+
+
+def test_select_dtype():
+    i = E.Idx("i")
+    node = E.select(i < 1, 1.0, 2.0)
+    assert node.dtype == E.FLOAT32
+    assert len(node.children()) == 3
+
+
+def test_unary_helpers():
+    x = E.Var("x")
+    assert E.exp(x).op == "exp"
+    assert E.sqrt(x).op == "sqrt"
+    assert E.to_int(x).dtype == E.INT32
+    assert E.to_float(E.Idx("i")).dtype == E.FLOAT32
+    assert (-x).op == "neg"
+    assert (~(x < 1)).op == "not"
+
+
+def test_unknown_ops_rejected():
+    with pytest.raises(TraceError):
+        E.BinOp("pow", E.wrap(1), E.wrap(2))
+    with pytest.raises(TraceError):
+        E.UnOp("sin", E.wrap(1.0))
+
+
+def test_eval_binary_semantics():
+    assert E.eval_binary("add", 2, 3) == 5
+    assert E.eval_binary("div", 7.0, 2.0) == 3.5
+    assert E.eval_binary("div", 7, 2) == 3
+    assert E.eval_binary("div", -7, 2) == -3  # truncation toward zero
+    assert E.eval_binary("min", 4, 9) == 4
+    assert E.eval_binary("max", 4, 9) == 9
+    assert E.eval_binary("and", True, False) is False
+
+
+def test_eval_binary_div_by_zero():
+    with pytest.raises(ZeroDivisionError):
+        E.eval_binary("div", 1, 0)
+
+
+def test_eval_unary_semantics():
+    assert E.eval_unary("neg", 4) == -4
+    assert E.eval_unary("relu", -2.0) == 0.0
+    assert E.eval_unary("relu", 2.0) == 2.0
+    assert math.isclose(E.eval_unary("sigmoid", 0.0), 0.5)
+    assert E.eval_unary("to_int", 2.7) == 2
+
+
+def test_postorder_visits_each_node_once():
+    i = E.Idx("i")
+    shared = i * 2
+    root = shared + shared
+    nodes = list(E.postorder(root))
+    assert nodes.count(shared) == 1
+    assert nodes[-1] is root
+
+
+def test_count_ops_shares_subtrees():
+    i = E.Idx("i")
+    shared = i * 2
+    root = shared + shared
+    assert E.count_ops(root) == 2  # mul and add, mul counted once
+
+
+def test_collect_indices_and_loads():
+    from repro.patterns.collections import Array
+    a = Array("a", (4,), E.FLOAT32)
+    i = E.Idx("i")
+    j = E.Idx("j")
+    root = a[i] + a[j] * 2.0
+    assert set(E.collect_indices(root)) == {i, j}
+    assert len(E.collect_loads(root)) == 2

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the pattern layer.
+
+These pin down semantic invariants: executor-vs-numpy agreement for the
+four patterns on arbitrary inputs, fold/combine associativity handling,
+and affine-analysis soundness (the affine form must evaluate to the same
+address the expression does).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import (Array, Dyn, Fold, Program, run_program,
+                            scalar_cell)
+from repro.patterns import expr as E
+from repro.patterns.analysis import as_affine
+from repro.patterns.executor import Env, eval_expr
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False,
+                   width=32)
+small_ints = st.integers(min_value=-8, max_value=8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(floats, min_size=1, max_size=24))
+def test_map_matches_numpy(values):
+    data = np.array(values, dtype=np.float32)
+    p = Program("prop")
+    a = p.input("a", (len(values),), data=data)
+    o = p.output("o", (len(values),))
+    p.map("f", o, len(values), lambda i: a[i] * 2.0 + 1.0)
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["o"], data * 2 + 1, rtol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(floats, min_size=1, max_size=24))
+def test_fold_sum_matches_numpy(values):
+    data = np.array(values, dtype=np.float32)
+    p = Program("prop")
+    a = p.input("a", (len(values),), data=data)
+    s = p.output("s")
+    p.fold("sum", s, len(values), 0.0, lambda i: a[i], lambda x, y: x + y)
+    env = run_program(p)
+    # sequential left fold over float32: compare against the same order
+    expect = np.float32(0.0)
+    for v in data:
+        expect = np.float32(expect + v)
+    assert abs(env.scalar(s) - expect) <= 1e-3 * max(1.0, abs(expect))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(floats, min_size=1, max_size=24))
+def test_fold_max_matches_numpy(values):
+    data = np.array(values, dtype=np.float32)
+    p = Program("prop")
+    a = p.input("a", (len(values),), data=data)
+    s = p.output("s")
+    p.fold("mx", s, len(values), -1e30, lambda i: a[i],
+           lambda x, y: E.maximum(x, y))
+    env = run_program(p)
+    assert env.scalar(s) == np.float32(data.max())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(floats, min_size=1, max_size=20))
+def test_filter_preserves_order_and_count(values):
+    data = np.array(values, dtype=np.float32)
+    n_elems = len(values)
+    p = Program("prop")
+    a = p.input("a", (n_elems,), data=data)
+    n = p.output("n", (), E.INT32)
+    kept = p.output("kept", (Dyn(n),), max_elems=n_elems)
+    p.filter("pos", kept, n, n_elems,
+             lambda i: a[i] > 0.0, lambda i: a[i])
+    env = run_program(p)
+    expect = data[data > 0]
+    assert env.scalar(n) == len(expect)
+    np.testing.assert_allclose(env.buffers["kept"][:len(expect)], expect)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                max_size=32))
+def test_histogram_matches_bincount(keys):
+    data = np.array(keys, dtype=np.int32)
+    p = Program("prop")
+    v = p.input("v", (len(keys),), E.INT32, data=data)
+    h = p.output("h", (8,), E.INT32)
+    p.hash_reduce("hist", h, len(keys), 8, key=lambda i: v[i],
+                  value=lambda i: 1, r=lambda x, y: x + y, init=0)
+    env = run_program(p)
+    np.testing.assert_array_equal(env.buffers["h"],
+                                  np.bincount(data, minlength=8))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_ints, small_ints, small_ints,
+       st.integers(min_value=0, max_value=5),
+       st.integers(min_value=0, max_value=5))
+def test_affine_form_evaluates_like_expression(c0, ci, cj, iv, jv):
+    i, j = E.Idx("i"), E.Idx("j")
+    node = i * ci + j * cj + c0
+    form = as_affine(node)
+    assert form is not None
+    dummy = Program("prop")
+    env = Env(dummy)
+    got = eval_expr(node, env, {i: iv, j: jv})
+    assert form.const + form.stride_of(i) * iv + form.stride_of(j) * jv == got
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(floats, min_size=2, max_size=16), st.data())
+def test_gather_matches_fancy_indexing(values, data_strategy):
+    data = np.array(values, dtype=np.float32)
+    n_elems = len(values)
+    perm = data_strategy.draw(
+        st.lists(st.integers(min_value=0, max_value=n_elems - 1),
+                 min_size=n_elems, max_size=n_elems))
+    p = Program("prop")
+    idx = p.input("idx", (n_elems,), E.INT32,
+                  data=np.array(perm, dtype=np.int32))
+    src = p.input("src", (n_elems,), data=data)
+    o = p.output("o", (n_elems,))
+    p.map("g", o, n_elems, lambda i: src[idx[i]])
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["o"], data[perm])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=1000))
+def test_gemm_matches_numpy(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, k)).astype(np.float32)
+    B = rng.standard_normal((k, n)).astype(np.float32)
+    p = Program("prop")
+    a = p.input("a", (m, k), data=A)
+    b = p.input("b", (k, n), data=B)
+    c = p.output("c", (m, n))
+    p.map("mm", c, (m, n),
+          lambda i, j: Fold(k, 0.0, lambda kk: a[i, kk] * b[kk, j],
+                            lambda x, y: x + y))
+    env = run_program(p)
+    np.testing.assert_allclose(env.buffers["c"], A @ B, rtol=1e-4,
+                               atol=1e-5)

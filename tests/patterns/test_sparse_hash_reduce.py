@@ -1,0 +1,50 @@
+"""Tests for the sparse (dynamic-key) HashReduce form."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import (Array, HashReduce, Program,
+                            run_sparse_hash_reduce)
+from repro.patterns import expr as E
+from repro.patterns.executor import Env
+
+
+def test_sparse_histogram_over_arbitrary_keys():
+    keys = np.array([1001, 7, 1001, 42, 7, 7], dtype=np.int32)
+    p = Program("t")
+    v = p.input("v", (6,), E.INT32, data=keys)
+    pattern = HashReduce(6, key=lambda i: v[i], value=lambda i: 1,
+                         r=lambda a, b: a + b, bins=None, init=0)
+    assert not pattern.dense
+    env = Env(p)
+    out = run_sparse_hash_reduce(pattern, env)
+    assert out == {1001: (2,), 7: (3,), 42: (1,)}
+
+
+def test_sparse_multi_value_groupby():
+    # TPC-H Q1 style: group amounts by key, tracking (sum, count)
+    keys = np.array([3, 5, 3, 3], dtype=np.int32)
+    amounts = np.array([10.0, 20.0, 30.0, 40.0], dtype=np.float32)
+    p = Program("t")
+    k = p.input("k", (4,), E.INT32, data=keys)
+    a = p.input("a", (4,), data=amounts)
+    pattern = HashReduce(
+        4, key=lambda i: k[i],
+        value=lambda i: (a[i], 1),
+        r=lambda x, y: (x[0] + y[0], x[1] + y[1]),
+        bins=None, init=(0.0, 0))
+    env = Env(p)
+    out = run_sparse_hash_reduce(pattern, env)
+    assert out[3] == (pytest.approx(80.0), 3)
+    assert out[5] == (pytest.approx(20.0), 1)
+
+
+def test_sparse_form_rejected_as_program_step():
+    p = Program("t")
+    v = p.input("v", (4,), E.INT32, data=np.zeros(4, dtype=np.int32))
+    o = p.output("o", (4,), E.INT32)
+    pattern = HashReduce(4, key=lambda i: v[i], value=lambda i: 1,
+                         r=lambda a, b: a + b, bins=None, init=0)
+    with pytest.raises(PatternError, match="sparse"):
+        p.step("hr", pattern, (o,))

@@ -1,0 +1,180 @@
+"""Unit tests for simulator components: FIFOs, scratchpads, config."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import DEFAULT
+from repro.dhdl import BankingMode, FifoDecl, Reg, Sram
+from repro.errors import ConfigError, SimulationError
+from repro.patterns import expr as E
+from repro.sim import (AgAssignment, FabricConfig, FifoSim, LeafTiming,
+                       MemoryState, RegSim, ScratchpadSim)
+
+
+# -- FIFO -----------------------------------------------------------------------
+
+def test_fifo_push_pop_order():
+    fifo = FifoSim(FifoDecl("f", depth=2), lanes=4)
+    fifo.push([1, 2, 3])
+    assert fifo.pop(2) == [1, 2]
+    assert fifo.pop(5) == [3]
+
+
+def test_fifo_capacity_vector_vs_scalar():
+    vec = FifoSim(FifoDecl("v", depth=2, vector=True), lanes=16)
+    assert vec.capacity == 32
+    scalar = FifoSim(FifoDecl("s", depth=2, vector=False), lanes=16)
+    assert scalar.capacity == 2
+
+
+def test_fifo_overflow_rejected():
+    fifo = FifoSim(FifoDecl("f", depth=1, vector=False))
+    fifo.push([1])
+    assert not fifo.can_push()
+    with pytest.raises(SimulationError):
+        fifo.push([2])
+
+
+def test_fifo_eos_protocol():
+    fifo = FifoSim(FifoDecl("f"))
+    fifo.push([1])
+    fifo.close()
+    assert fifo.eos and not fifo.drained
+    with pytest.raises(SimulationError):
+        fifo.push([2])
+    fifo.pop(1)
+    assert fifo.drained
+    fifo.reopen()
+    assert not fifo.eos
+
+
+def test_fifo_reopen_requires_empty():
+    fifo = FifoSim(FifoDecl("f"))
+    fifo.push([1])
+    fifo.close()
+    with pytest.raises(SimulationError):
+        fifo.reopen()
+
+
+# -- scratchpad ---------------------------------------------------------------------
+
+def _scratch(banking=BankingMode.STRIDED, shape=(64,), nbuf=1,
+             bank_stride=1):
+    sram = Sram("t", shape, E.FLOAT32, banking, nbuf=nbuf,
+                bank_stride=bank_stride)
+    return ScratchpadSim(sram, banks=16)
+
+
+def test_versions_copy_on_write():
+    sp = _scratch()
+    first = sp.buffer((0,))
+    first[0] = 7.0
+    second = sp.buffer((1,))
+    assert second[0] == 7.0           # carried
+    second[0] = 9.0
+    assert sp.buffer((0,))[0] == 7.0  # older untouched
+
+
+def test_read_buffer_falls_back_to_newest_older():
+    sp = _scratch()
+    sp.buffer((0, 1))[0] = 5.0
+    view = sp.read_buffer((0, 3))
+    assert view[0] == 5.0
+
+
+def test_retire_old_bounds_live_versions():
+    sp = _scratch(nbuf=2)
+    for k in range(10):
+        sp.buffer((k,))
+    sp.retire_old()
+    assert len(sp.versions) <= 3
+
+
+def test_strided_conflicts_counted():
+    sp = _scratch()
+    assert sp.read_cost(list(range(16))) == 0       # one per bank
+    assert sp.read_cost([0, 16, 32]) == 2           # all bank 0
+    assert sp.conflict_cycles == 2
+
+
+def test_bank_stride_decoder():
+    # lanes hit addresses k*16 (a column): with stride 16 they spread
+    sp = _scratch(bank_stride=16)
+    addrs = [k * 16 for k in range(16)]
+    assert sp.read_cost(addrs) == 0
+
+
+def test_broadcast_reads_free():
+    sp = _scratch()
+    assert sp.read_cost([5] * 16) == 0  # same word: broadcast
+
+
+def test_duplication_mode_reads_free_writes_serialise():
+    sp = _scratch(banking=BankingMode.DUPLICATION)
+    assert sp.read_cost([0, 0, 7, 7, 3]) == 0
+    assert sp.write_cost([1, 2, 3, 4]) == 3
+
+
+def test_fifo_and_linebuffer_modes_conflict_free():
+    for mode in (BankingMode.FIFO, BankingMode.LINE_BUFFER):
+        sp = _scratch(banking=mode)
+        assert sp.read_cost([0, 16, 32, 48]) == 0
+        assert sp.write_cost([0, 16, 32, 48]) == 0
+
+
+def test_watermark_tracking():
+    sp = _scratch()
+    sp.note_write((1,), 5)
+    sp.note_write((1,), 2)
+    assert sp.watermark_for((1,)) == 6
+    assert sp.watermark_for((2,)) == 6  # falls back
+    assert sp.watermark_for((0,)) == 0
+
+
+# -- registers -----------------------------------------------------------------------
+
+def test_reg_sim_types():
+    reg = RegSim(Reg("r", E.INT32, init=3))
+    assert reg.read() == 3
+    reg.write(7.9)
+    assert reg.read() == 7  # int32 truncation
+
+
+def test_memory_state_lookup_errors():
+    state = MemoryState([], [])
+    with pytest.raises(SimulationError):
+        state.scratch(Sram("ghost", (4,), E.FLOAT32))
+    with pytest.raises(SimulationError):
+        state.reg(Reg("ghost"))
+
+
+# -- config -----------------------------------------------------------------------
+
+def test_leaf_timing_validation():
+    LeafTiming().validate(DEFAULT)
+    with pytest.raises(ConfigError):
+        LeafTiming(lanes=99).validate(DEFAULT)
+    with pytest.raises(ConfigError):
+        LeafTiming(pipeline_depth=0).validate(DEFAULT)
+
+
+def test_config_lookup_errors():
+    config = FabricConfig()
+    with pytest.raises(ConfigError):
+        config.timing_for("nope")
+    with pytest.raises(ConfigError):
+        config.ags_for("nope")
+
+
+def test_utilization_fractions():
+    config = FabricConfig(pcus_used=32, pmus_used=16, ags_used=17,
+                          fus_used=96 * 16, switches_used=60)
+    util = config.utilization()
+    assert util["pcu"] == pytest.approx(0.5)
+    assert util["pmu"] == pytest.approx(0.25)
+    assert util["ag"] == pytest.approx(0.5)
+    assert util["fu"] == pytest.approx(0.25)
+
+
+def test_ag_assignment_streams():
+    assert AgAssignment((0, 1, 2)).streams == 3

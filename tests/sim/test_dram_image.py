@@ -1,0 +1,69 @@
+"""Unit tests for the DRAM image (data side of off-chip memory)."""
+
+import numpy as np
+import pytest
+
+from repro.dhdl.memory import DramRef
+from repro.errors import SimulationError
+from repro.patterns import Array
+from repro.patterns import expr as E
+from repro.sim import DramImage, assign_bases
+
+
+def _refs():
+    a = Array("a", (4, 4), E.FLOAT32,
+              data=np.arange(16, dtype=np.float32).reshape(4, 4))
+    b = Array("b", (8,), E.INT32)
+    return [DramRef(a), DramRef(b)]
+
+
+def test_assign_bases_aligned_and_disjoint():
+    refs = _refs()
+    bases = assign_bases(refs, alignment=4096)
+    assert all(base % 4096 == 0 for base in bases.values())
+    assert bases["a"] != bases["b"]
+    assert min(bases.values()) >= 4096  # address 0 unused
+
+
+def test_initial_data_loaded_row_major():
+    refs = _refs()
+    image = DramImage(refs, assign_bases(refs))
+    np.testing.assert_array_equal(image.read_words("a", 4, 4),
+                                  [4, 5, 6, 7])
+    assert image.as_array("a").shape == (4, 4)
+
+
+def test_write_and_read_back():
+    refs = _refs()
+    image = DramImage(refs, assign_bases(refs))
+    image.write_words("b", 2, [7, 8, 9])
+    np.testing.assert_array_equal(image.read_words("b", 0, 8),
+                                  [0, 0, 7, 8, 9, 0, 0, 0])
+
+
+def test_bounds_enforced():
+    refs = _refs()
+    image = DramImage(refs, assign_bases(refs))
+    with pytest.raises(SimulationError):
+        image.read_words("a", 14, 4)
+    with pytest.raises(SimulationError):
+        image.write_words("b", 7, [1, 2])
+
+
+def test_byte_addresses_use_bases():
+    refs = _refs()
+    bases = assign_bases(refs)
+    image = DramImage(refs, bases)
+    assert image.byte_addr("a", 3) == bases["a"] + 12
+
+
+def test_missing_base_rejected():
+    refs = _refs()
+    with pytest.raises(SimulationError):
+        DramImage(refs, {"a": 4096})  # no base for b
+
+
+def test_unaligned_base_rejected():
+    refs = _refs()
+    with pytest.raises(SimulationError):
+        DramImage(refs, {"a": 4097, "b": 8192})

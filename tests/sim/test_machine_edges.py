@@ -1,0 +1,133 @@
+"""Machine-level edge cases: deadlock detection, cycle limits,
+write-back, timing scaling."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.compiler import compile_program
+from repro.dhdl import (Counter, CounterChain, DhdlProgram, EmitStmt,
+                        InnerCompute, OuterController, Scheme,
+                        StreamStore, TileLoad, WriteStmt)
+from repro.errors import DeadlockError, SimulationError
+from repro.patterns import Array, Fold, Program
+from repro.patterns import expr as E
+from repro.sim import AgAssignment, FabricConfig, LeafTiming, Machine
+
+
+def test_watchdog_detects_streaming_deadlock():
+    """A producer filling a FIFO nobody drains must trip the watchdog,
+    not hang."""
+    dhdl = DhdlProgram("dead")
+    array_in = Array("a", (64,), E.FLOAT32,
+                     data=np.ones(64, dtype=np.float32))
+    dram_in = dhdl.dram(array_in)
+    tile = dhdl.sram("t", (64,), E.FLOAT32)
+    fifo = dhdl.fifo("f", depth=1)
+    pipe = OuterController("pipe", Scheme.PIPELINE)
+    dhdl.root.add(pipe)
+    pipe.add(TileLoad("ld", dram_in, tile, (0,), (64,)))
+    stream = OuterController("s", Scheme.STREAMING)
+    pipe.add(stream)
+    i = E.Idx("i")
+    chain = CounterChain([Counter(0, 64, par=16)], [i])
+    stream.add(InnerCompute("emit_only", chain,
+                            [EmitStmt(fifo, True, tile[i])]))
+    # no StreamStore: the FIFO fills and nothing drains it
+    config = FabricConfig()
+    for leaf in dhdl.leaves():
+        config.leaf_timing[leaf.name] = LeafTiming()
+        config.ag_assign[leaf.name] = AgAssignment()
+    machine = Machine(dhdl, config, watchdog=500)
+    with pytest.raises(DeadlockError, match="emit_only"):
+        machine.run()
+
+
+def test_max_cycles_guard():
+    compiled = compile_program(get_app("gemm").build("tiny"))
+    machine = Machine(compiled.dhdl, compiled.config)
+    with pytest.raises(SimulationError, match="max_cycles"):
+        machine.run(max_cycles=3)
+
+
+def test_reg_writeback_happens_once_at_epilogue():
+    p = Program("t")
+    a = p.input("a", (32,), data=np.ones(32, dtype=np.float32))
+    o = p.output("o")
+    p.fold("sum", o, 32, 0.0, lambda i: a[i], lambda x, y: x + y)
+    compiled = compile_program(p)
+    machine = Machine(compiled.dhdl, compiled.config)
+    machine.run()
+    assert machine.scalar("o") == pytest.approx(32.0)
+
+
+def test_cycles_scale_linearly_for_streams():
+    """Steady-state streaming throughput: 4x the data ~ 4x the cycles
+    (the basis for the analytical extrapolation)."""
+    def cycles(n):
+        p = Program(f"s{n}")
+        a = p.input("a", (n,),
+                    data=np.ones(n, dtype=np.float32))
+        o = p.output("o", (n,))
+        p.map("scale", o, n, lambda i: a[i] * 2.0).set_par(16)
+        compiled = compile_program(p, tile_words=256,
+                                   whole_budget=128)
+        machine = Machine(compiled.dhdl, compiled.config)
+        machine.run()
+        return machine.stats.cycles
+
+    small, big = cycles(2048), cycles(8192)
+    assert big / small == pytest.approx(4.0, rel=0.25)
+
+
+def test_stats_activity_reasonable():
+    compiled = compile_program(get_app("gemm").build("small"))
+    machine = Machine(compiled.dhdl, compiled.config)
+    stats = machine.run()
+    activity = stats.activity(compiled.config)
+    assert 0 < activity.pcu_activity <= 1
+    assert activity.pcus_used == compiled.config.pcus_used
+    assert stats.seconds() == pytest.approx(stats.cycles / 1e9)
+
+
+def test_dram_stats_fields_present():
+    compiled = compile_program(get_app("innerproduct").build("tiny"))
+    machine = Machine(compiled.dhdl, compiled.config)
+    stats = machine.run()
+    for key in ("reads", "writes", "row_hits", "row_misses", "bytes"):
+        assert key in stats.dram
+    assert 0 <= stats.dram_busy_fraction <= 1
+
+
+def test_machine_rejects_restart_of_busy_root():
+    compiled = compile_program(get_app("gemm").build("tiny"))
+    machine = Machine(compiled.dhdl, compiled.config)
+    machine.root.start({}, ())
+    with pytest.raises(SimulationError):
+        machine.root.start({}, ())
+
+
+def test_sim_is_deterministic():
+    results = []
+    for _ in range(2):
+        compiled = compile_program(get_app("kmeans").build("tiny"))
+        machine = Machine(compiled.dhdl, compiled.config)
+        stats = machine.run()
+        results.append((stats.cycles, stats.ops_executed,
+                        machine.result("centroids").tobytes()))
+    assert results[0] == results[1]
+
+
+def test_gather_out_of_bounds_index_reported():
+    p = Program("t")
+    idx = p.input("idx", (8,), E.INT32,
+                  data=np.array([0, 1, 2, 3, 4, 5, 6, 99],
+                                dtype=np.int32))
+    table = p.input("tbl", (16,),
+                    data=np.zeros(16, dtype=np.float32), offchip=True)
+    o = p.output("o", (8,))
+    p.map("g", o, 8, lambda i: table[idx[i]])
+    compiled = compile_program(p)
+    machine = Machine(compiled.dhdl, compiled.config)
+    with pytest.raises(SimulationError, match="out of bounds"):
+        machine.run()

@@ -1,0 +1,66 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main, render_floorplan
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "112.796" in out
+    assert "TFLOPS" in out
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "gemm" in out and "pagerank" in out
+    assert out.count("\n") == 13
+
+
+def test_run_validates(capsys):
+    assert main(["run", "innerproduct", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "VALIDATED" in out
+    assert "cycles" in out
+
+
+def test_run_with_ir_and_floorplan(capsys):
+    assert main(["run", "gemm", "--scale", "tiny", "--ir",
+                 "--floorplan"]) == 0
+    out = capsys.readouterr().out
+    assert "dhdl gemm" in out
+    assert "floorplan" in out
+
+
+def test_run_unknown_app():
+    with pytest.raises(KeyError):
+        main(["run", "nonexistent"])
+
+
+def test_table5(capsys):
+    assert main(["table5"]) == 0
+    assert "Table 5" in capsys.readouterr().out
+
+
+def test_figure7_unknown_param(capsys):
+    assert main(["figure7", "bogus"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_floorplan_marks_units():
+    from repro.apps import get_app
+    from repro.compiler import compile_program
+    compiled = compile_program(get_app("gemm").build("tiny"))
+    text = render_floorplan(compiled)
+    assert "floorplan" in text
+    assert "matmul_body" in text
+    # grid is 8 rows of 16 sites
+    grid_lines = [l for l in text.splitlines()
+                  if l and l[0] in ".,ABCDEFGHIJKLMNOPQRSTUVWXYZ"]
+    assert len(grid_lines) == 8
