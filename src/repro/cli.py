@@ -6,8 +6,11 @@ Commands
     Chip summary: parameters, area breakdown, peak numbers.
 ``list``
     The Table 4 benchmark registry.
-``run APP [--scale SCALE] [--floorplan] [--ir]``
-    Compile, cycle-simulate and validate one benchmark.
+``run APP [--scale SCALE] [--floorplan] [--ir] [--trace[=PATH]]``
+    Compile, cycle-simulate and validate one benchmark.  With
+    ``--trace`` the simulator records per-cycle stall attribution and
+    prints the breakdown plus a utilization waterfall; give a PATH to
+    also write a Chrome/Perfetto trace JSON.
 ``table5 | table6 | table7``
     Regenerate a paper table.
 ``figure7 PARAM``
@@ -62,8 +65,12 @@ def _cmd_run(args) -> int:
     if args.ir:
         print(format_program(compiled.dhdl))
         print()
+    tracer = None
+    if args.trace is not None:
+        from repro.trace import RingTracer
+        tracer = RingTracer(sample=args.trace_sample)
     started = time.time()
-    machine = Machine(compiled.dhdl, compiled.config)
+    machine = Machine(compiled.dhdl, compiled.config, tracer=tracer)
     stats = machine.run()
     sim_s = time.time() - started
     results = {name: machine.result(name) for name in expected}
@@ -89,6 +96,22 @@ def _cmd_run(args) -> int:
     if args.floorplan:
         print()
         print(render_floorplan(compiled))
+    if tracer is not None:
+        from repro.trace import render_waterfall, write_chrome_trace
+        report = machine.trace_report()
+        print()
+        print(report.render())
+        print()
+        print(render_waterfall(tracer, report))
+        if args.trace:
+            try:
+                write_chrome_trace(args.trace, tracer, report)
+            except OSError as err:
+                print(f"cannot write trace to {args.trace}: {err}",
+                      file=sys.stderr)
+                return 1
+            print(f"\nwrote Chrome trace to {args.trace} "
+                  f"(load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -130,6 +153,9 @@ def _cmd_table(args) -> int:
         print(table5.render(table5.generate()))
     elif args.command == "table6":
         print(table6.render(table6.generate(scale=args.scale)))
+        print()
+        print(table6.render_control(
+            table6.control_overhead(scale="tiny")))
     else:
         rows = table7.generate(scale=args.scale, validate=False)
         print(table7.render(rows))
@@ -151,6 +177,14 @@ def _cmd_figure7(args) -> int:
     return 2
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -165,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("tiny", "small"))
     run.add_argument("--floorplan", action="store_true")
     run.add_argument("--ir", action="store_true")
+    run.add_argument("--trace", nargs="?", const="", default=None,
+                     metavar="PATH",
+                     help="record per-cycle stall attribution; with a "
+                          "PATH also write Chrome/Perfetto trace JSON")
+    run.add_argument("--trace-sample", type=_positive_int, default=1,
+                     metavar="N",
+                     help="record detailed events only every N cycles "
+                          "(attribution stays exact)")
     for name in ("table5", "table6", "table7"):
         t = sub.add_parser(name, help=f"regenerate {name}")
         t.add_argument("--scale", default="small",

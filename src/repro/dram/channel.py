@@ -8,6 +8,7 @@ from repro.dram.bank import Bank
 from repro.dram.request import DramRequest
 from repro.dram.timing import DdrTiming, DramGeometry
 from repro.errors import DramProtocolError
+from repro.trace.events import EventKind
 
 
 class Channel:
@@ -32,6 +33,9 @@ class Channel:
         self.bytes_moved = 0
         #: recent row-activation times, for the tFAW window
         self._activates: List[int] = []
+        #: attached by the DramModel when tracing is enabled
+        self.trace = None
+        self.trace_name = "?"
 
     # -- interface ------------------------------------------------------------
     def can_accept(self) -> bool:
@@ -57,6 +61,15 @@ class Channel:
         bank = self.banks[bank_id]
         if not bank.is_hit(row):
             self._activates.append(now)
+        if self.trace is not None:
+            if bank.is_hit(row):
+                kind = EventKind.DRAM_ROW_HIT
+            elif bank.open_row is None:
+                kind = EventKind.DRAM_ROW_EMPTY
+            else:
+                kind = EventKind.DRAM_ROW_MISS
+            self.trace.emit(kind, self.trace_name,
+                            (bank_id, len(self.queue)))
         done = bank.issue(row, now, choice.is_write)
         # serialise the data bus: burst occupies t_burst ending at `done`
         burst_start = done - self.timing.t_burst

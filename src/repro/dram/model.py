@@ -37,6 +37,13 @@ class DramModel:
         self._callbacks: Dict[int, Callable[[DramRequest], None]] = {}
         self._completed: List[DramRequest] = []
 
+    def attach_trace(self, tracer) -> None:
+        """Register every channel as an event track on ``tracer``."""
+        for k, channel in enumerate(self.channels):
+            channel.trace = tracer
+            channel.trace_name = f"ch{k}"
+            tracer.register_track(channel.trace_name, "dram")
+
     # -- submission -------------------------------------------------------------
     def channel_of(self, byte_addr: int) -> int:
         """Channel index servicing a byte address."""

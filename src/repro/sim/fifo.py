@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro.dhdl.memory import FifoDecl
 from repro.errors import SimulationError
+from repro.trace.events import EventKind
 
 
 class FifoSim:
@@ -27,6 +28,8 @@ class FifoSim:
         self.popped = 0
         self.full_stalls = 0
         self.empty_stalls = 0
+        #: attached by the machine when tracing is enabled
+        self.trace = None
 
     @property
     def size(self) -> int:
@@ -56,6 +59,9 @@ class FifoSim:
             raise SimulationError(f"FIFO {self.decl.name!r} overflow")
         self.items.extend(values)
         self.pushed += len(values)
+        if self.trace is not None:
+            self.trace.emit(EventKind.FIFO_PUSH, self.decl.name,
+                            (len(values), len(self.items)))
 
     def pop(self, count: int = 1) -> List:
         """Remove up to ``count`` words (may return fewer)."""
@@ -63,6 +69,9 @@ class FifoSim:
         while self.items and len(out) < count:
             out.append(self.items.popleft())
         self.popped += len(out)
+        if out and self.trace is not None:
+            self.trace.emit(EventKind.FIFO_POP, self.decl.name,
+                            (len(out), len(self.items)))
         return out
 
     def close(self) -> None:

@@ -32,6 +32,7 @@ from repro.sim.dram_image import DramImage
 from repro.sim.fifo import FifoSim
 from repro.sim.scratchpad import MemoryState
 from repro.sim.stats import SimStats
+from repro.trace.events import EventKind, StallCause
 
 WORDS_PER_BURST = 16
 
@@ -40,6 +41,8 @@ class NodeSim:
     """Protocol for anything the outer scheduler can run."""
 
     name: str = "?"
+    #: names of the physical leaf units in this subtree (tracing)
+    leaf_names: Tuple[str, ...] = ()
 
     def start(self, bindings: dict, version: int) -> None:
         """Begin one activation."""
@@ -63,6 +66,9 @@ class _LeafCommon(NodeSim):
         self.mem = mem
         self.stats = stats
         self._active = False
+        self.leaf_names = (name,)
+        #: attached by the machine when tracing is enabled
+        self.trace = None
 
     @property
     def busy(self) -> bool:
@@ -127,12 +133,19 @@ class InnerComputeSim(_LeafCommon):
     def tick(self, cycle: int) -> None:
         if not self._active:
             return
+        trace = self.trace
         if self._enum is None:  # draining
+            if trace is not None:
+                trace.mark(self.name, StallCause.DRAIN)
             if cycle >= self._drain_until:
                 self._finish()
             return
         if cycle < self._stall_until:
+            # serialising a conflicted vector access: the unit is
+            # occupied (counts towards activity) but issues nothing
             self.stats.busy(self.name)
+            if trace is not None:
+                trace.mark(self.name, StallCause.BANK_CONFLICT)
             return
         batch = self._pending or self._enum.next_batch()
         self._pending = None
@@ -141,14 +154,23 @@ class InnerComputeSim(_LeafCommon):
             self._drain_until = cycle + self.timing.pipeline_depth \
                 + self.timing.output_hops
             self.stats.busy(self.name)
+            if trace is not None:
+                trace.mark(self.name, StallCause.DRAIN)
             return
         extra = self._execute(batch)
         if extra is None:           # FIFO full: retry this batch
             self._pending = batch
             self.stats.fifo_stall_cycles += 1
+            if trace is not None:
+                trace.mark(self.name, StallCause.FIFO_FULL)
             return
-        self.stats.busy(self.name, 1 + extra)
+        # the issue cycle itself; conflict serialisation cycles charge
+        # themselves one by one in the stall branch above
+        self.stats.busy(self.name)
         self.stats.vector_issues += 1
+        if trace is not None:
+            trace.mark(self.name, StallCause.BUSY)
+            trace.emit(EventKind.ISSUE, self.name, (batch.lanes, extra))
         if extra:
             self._stall_until = cycle + 1 + extra
 
@@ -166,6 +188,9 @@ class InnerComputeSim(_LeafCommon):
                 fifo = self.fifos[stmt.fifo.name]
                 if not fifo.can_push(batch.lanes):
                     fifo.full_stalls += 1
+                    if self.trace is not None:
+                        self.trace.emit(EventKind.FIFO_FULL,
+                                        stmt.fifo.name, (batch.lanes,))
                     return None
 
         write_addrs: Dict[str, List[int]] = {}
@@ -299,12 +324,36 @@ class _TransferCommon(_LeafCommon):
 
     def _issue(self, request: DramRequest, on_done) -> None:
         self._outstanding += 1
+        if self.trace is not None:
+            self.trace.emit(EventKind.AG_BURST, self.name,
+                            (request.byte_addr, int(request.is_write)))
 
         def _cb(req):
             self._outstanding -= 1
             on_done(req)
 
         self.dram.submit(request, _cb)
+
+    def _account(self, issued: int, blocked: bool) -> None:
+        """Per-cycle busy/stall accounting shared by the AG engines.
+
+        ``issued`` — address-stream slots that made progress this cycle;
+        ``blocked`` — True when progress was stopped by a full DRAM
+        channel queue (or a full coalescer), i.e. a bandwidth stall.
+        """
+        if issued or self._outstanding:
+            self.stats.busy(self.name)
+        if issued:
+            cause = StallCause.BUSY
+        elif blocked:
+            self.stats.dram_stall_cycles += 1
+            cause = StallCause.DRAM_BANDWIDTH
+        elif self._outstanding:
+            cause = StallCause.DRAM_LATENCY
+        else:
+            cause = StallCause.DRAIN
+        if self.trace is not None:
+            self.trace.mark(self.name, cause)
 
 
 class TileLoadSim(_TransferCommon):
@@ -381,11 +430,13 @@ class TileLoadSim(_TransferCommon):
         if not self._active:
             return
         issued = 0
+        blocked = False
         while self._spans and issued < self.streams:
             word_off, count, sram_flat = self._spans[0]
             burst_words = min(count, WORDS_PER_BURST)
             addr = self.image.byte_addr(self.leaf.dram.name, word_off)
             if not self.dram.can_accept(addr):
+                blocked = True
                 break
             tag = (word_off, burst_words, sram_flat)
             self._issue(DramRequest(byte_addr=addr, tag=tag),
@@ -397,8 +448,7 @@ class TileLoadSim(_TransferCommon):
                 self._spans[0] = (word_off + burst_words,
                                   count - burst_words,
                                   sram_flat + burst_words)
-        if issued or self._outstanding:
-            self.stats.busy(self.name)
+        self._account(issued, blocked)
         if not self._spans and self._outstanding == 0:
             self._active = False
 
@@ -451,11 +501,13 @@ class TileStoreSim(_TransferCommon):
         if not self._active:
             return
         issued = 0
+        blocked = False
         while self._spans and issued < self.streams:
             word_off, count, sram_flat = self._spans[0]
             burst_words = min(count, WORDS_PER_BURST)
             addr = self.image.byte_addr(self.leaf.dram.name, word_off)
             if not self.dram.can_accept(addr):
+                blocked = True
                 break
             # move the data now; the request models timing
             scratch = self.mem.scratch(self.leaf.sram)
@@ -473,8 +525,7 @@ class TileStoreSim(_TransferCommon):
                 self._spans[0] = (word_off + burst_words,
                                   count - burst_words,
                                   sram_flat + burst_words)
-        if issued or self._outstanding:
-            self.stats.busy(self.name)
+        self._account(issued, blocked)
         if not self._spans and self._outstanding == 0:
             self._active = False
 
@@ -518,7 +569,8 @@ class GatherSim(_TransferCommon):
             return
         # each AG stream feeds one address per cycle into the coalescer
         budget = self.streams
-        progressed = bool(self._outstanding)
+        issued = 0
+        blocked = False
         while self._queue and budget > 0:
             dst_flat, elem = self._queue[0]
             if elem < 0 or elem >= self.leaf.dram.words():
@@ -531,21 +583,25 @@ class GatherSim(_TransferCommon):
                 self._open[burst].append((dst_flat, elem))
                 self._queue.pop(0)
                 self.coalesced_hits += 1
+                if self.trace is not None:
+                    self.trace.emit(EventKind.COALESCE_HIT, self.name,
+                                    (burst,))
                 budget -= 1
-                progressed = True
+                issued += 1
                 continue
             if len(self._open) >= self.COALESCE_ENTRIES:
+                blocked = True
                 break
             if not self.dram.can_accept(addr):
+                blocked = True
                 break
             self._open[burst] = [(dst_flat, elem)]
             self._issue(DramRequest(byte_addr=addr, tag=burst),
                         self._on_burst)
             self._queue.pop(0)
             budget -= 1
-            progressed = True
-        if progressed:
-            self.stats.busy(self.name)
+            issued += 1
+        self._account(issued, blocked)
         if not self._queue and self._outstanding == 0 and not self._open:
             self._active = False
 
@@ -593,7 +649,8 @@ class ScatterSim(_TransferCommon):
         if not self._active:
             return
         budget = self.streams
-        progressed = bool(self._outstanding)
+        issued = 0
+        blocked = False
         while self._queue and budget > 0:
             elem, value = self._queue[0]
             if elem < 0 or elem >= self.leaf.dram.words():
@@ -608,12 +665,17 @@ class ScatterSim(_TransferCommon):
                 self._open[burst] += 1
                 self._queue.pop(0)
                 self.coalesced_hits += 1
+                if self.trace is not None:
+                    self.trace.emit(EventKind.COALESCE_HIT, self.name,
+                                    (burst,))
                 budget -= 1
-                progressed = True
+                issued += 1
                 continue
             if len(self._open) >= self.COALESCE_ENTRIES:
+                blocked = True
                 break
             if not self.dram.can_accept(addr):
+                blocked = True
                 break
             self.image.write_words(self.leaf.dram.name, elem, [value])
             self._open[burst] = 1
@@ -625,9 +687,8 @@ class ScatterSim(_TransferCommon):
                                     tag=burst), _done)
             self._queue.pop(0)
             budget -= 1
-            progressed = True
-        if progressed:
-            self.stats.busy(self.name)
+            issued += 1
+        self._account(issued, blocked)
         if not self._queue and self._outstanding == 0:
             self._active = False
 
@@ -654,13 +715,13 @@ class StreamStoreSim(_TransferCommon):
     def tick(self, cycle: int) -> None:
         if not self._active:
             return
-        progressed = bool(self._outstanding)
+        blocked = False
         got = self.fifo.pop(WORDS_PER_BURST - len(self._staging))
         if got:
             self._staging.extend(got)
-            progressed = True
         flush = (len(self._staging) == WORDS_PER_BURST
                  or (self.fifo.drained and self._staging))
+        flushed = False
         if flush:
             word_off = self._base_word + self._written
             addr = self.image.byte_addr(self.leaf.dram.name, word_off)
@@ -671,9 +732,23 @@ class StreamStoreSim(_TransferCommon):
                             lambda req: None)
                 self._written += len(self._staging)
                 self._staging = []
-                progressed = True
-        if progressed:
-            self.stats.busy(self.name)
+                flushed = True
+            else:
+                blocked = True
+        starved = (not got and not flushed
+                   and not self.fifo.drained and not self.fifo.items)
+        if starved:
+            # upstream has not produced yet: a FIFO-empty stall
+            self.fifo.empty_stalls += 1
+            self.stats.fifo_empty_stall_cycles += 1
+            if self.trace is not None:
+                self.trace.emit(EventKind.FIFO_EMPTY,
+                                self.fifo.decl.name, ())
+        if starved and not self._outstanding:
+            if self.trace is not None:
+                self.trace.mark(self.name, StallCause.FIFO_EMPTY)
+        else:
+            self._account(len(got) + (1 if flushed else 0), blocked)
         if (self.fifo.drained and not self._staging
                 and self._outstanding == 0):
             reg = self.mem.reg(self.leaf.count_reg)

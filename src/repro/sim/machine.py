@@ -29,6 +29,7 @@ from repro.sim.leaves import (GatherSim, InnerComputeSim, NodeSim,
 from repro.sim.outer import DepEdge, OuterControllerSim
 from repro.sim.scratchpad import MemoryState
 from repro.sim.stats import SimStats
+from repro.trace.tracer import Tracer
 
 
 def _loads_of(exprs) -> Set[str]:
@@ -113,7 +114,8 @@ class Machine:
 
     def __init__(self, dhdl: DhdlProgram, config: FabricConfig,
                  dram: Optional[DramModel] = None,
-                 watchdog: int = 50_000):
+                 watchdog: int = 50_000,
+                 tracer: Optional[Tracer] = None):
         self.dhdl = dhdl
         self.config = config
         self.params = config.params
@@ -136,6 +138,10 @@ class Machine:
         self._nbuf_by_name = {s.name: s.nbuf for s in dhdl.srams}
         for reg in dhdl.regs:
             self._nbuf_by_name[reg.name] = reg.nbuf
+        self.tracer = tracer if (tracer is not None
+                                 and tracer.enabled) else None
+        if self.tracer is not None:
+            self._attach_tracer(self.tracer)
 
     # -- construction ------------------------------------------------------------
     def _build(self, ctrl) -> NodeSim:
@@ -215,10 +221,41 @@ class Machine:
                 names.add(child.fifo.name)
         return [self.fifos[n] for n in sorted(names)]
 
+    # -- tracing ------------------------------------------------------------------
+    def _attach_tracer(self, tracer: Tracer) -> None:
+        """Wire one enabled tracer into every instrumented component."""
+
+        def walk(sim, path):
+            sim.trace = tracer
+            if isinstance(sim, OuterControllerSim):
+                for child in sim.children:
+                    walk(child, path + (sim.name,))
+            else:
+                kind = "pcu" if isinstance(sim, InnerComputeSim) else "ag"
+                tracer.register_unit(sim.name, kind, path)
+
+        walk(self.root, ())
+        for fifo in self.fifos.values():
+            fifo.trace = tracer
+            tracer.register_track(fifo.decl.name, "fifo")
+        for name, scratch in self.mem.scratchpads.items():
+            scratch.trace = tracer
+            tracer.register_track(name, "pmu")
+        self.dram.attach_trace(tracer)
+
+    def trace_report(self):
+        """Stall-attribution report for a finished traced run."""
+        from repro.trace.attribution import build_report
+        if self.tracer is None:
+            raise SimulationError(
+                "machine was built without an enabled tracer")
+        return build_report(self.tracer, self.stats)
+
     # -- execution ---------------------------------------------------------------
     def run(self, max_cycles: int = 20_000_000) -> SimStats:
         """Run to completion; returns the statistics object."""
         self.root.start({}, ())
+        trace = self.tracer
         last_progress_key = None
         last_progress_cycle = 0
         while self.root.busy:
@@ -226,6 +263,8 @@ class Machine:
             if self.cycle > max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={max_cycles}")
+            if trace is not None:
+                trace.begin_cycle(self.cycle)
             self.dram.tick()
             self.dram.deliver()
             for outer in self._outers:
@@ -239,8 +278,12 @@ class Machine:
             if key != last_progress_key:
                 last_progress_key = key
                 last_progress_cycle = self.cycle
+                if trace is not None:
+                    trace.progress(self.cycle)
             elif self.cycle - last_progress_cycle > self.watchdog:
-                self._raise_deadlock()
+                self._raise_deadlock(last_progress_cycle)
+            if trace is not None:
+                trace.end_cycle()
         self._epilogue()
         return self.stats
 
@@ -250,14 +293,26 @@ class Machine:
         return (self.stats.vector_issues, self.dram.reads,
                 self.dram.writes, self.dram.pending, fifo_flow, completed)
 
-    def _raise_deadlock(self):
+    def _raise_deadlock(self, last_progress_cycle: int):
         busy = [leaf.name for leaf in self._leaves if leaf.busy]
+        detail = ""
+        if self.tracer is not None:
+            from repro.trace.events import EventKind
+            marks = self.tracer.current_marks()
+            waits = {name: str(cause) for name, cause in
+                     sorted(marks.items())[:12]}
+            self.tracer.emit(EventKind.DEADLOCK, "machine",
+                             (last_progress_cycle,))
+            detail = f"; stall causes: {waits}"
         raise DeadlockError(
-            f"no progress for {self.watchdog} cycles at cycle "
-            f"{self.cycle}; busy leaves: {busy}")
+            f"no progress since cycle {last_progress_cycle} "
+            f"(watchdog {self.watchdog} cycles, now at cycle "
+            f"{self.cycle}); busy leaves: {busy}{detail}")
 
     def _epilogue(self) -> None:
         self.stats.cycles = self.cycle
+        if self.tracer is not None:
+            self.tracer.finalize(self.cycle)
         # write scalar results held in registers back to their DRAM cells
         for reg_name, array_name in self.dhdl.reg_outputs.items():
             value = self.mem.registers[reg_name].read()

@@ -36,6 +36,7 @@ from repro.sim.datapath import LaneContext
 from repro.sim.fifo import FifoSim
 from repro.sim.leaves import NodeSim
 from repro.sim.scratchpad import MemoryState
+from repro.trace.events import EventKind, StallCause
 
 
 class DepEdge:
@@ -78,6 +79,10 @@ class OuterControllerSim(NodeSim):
         self.edges = list(edges)
         self.mem = mem
         self.fifos_inside = list(fifos_inside)
+        self.leaf_names = tuple(name for child in self.children
+                                for name in child.leaf_names)
+        #: attached by the machine when tracing is enabled
+        self.trace = None
         self._active = False
         self._enum: Optional[ChainEnumerator] = None
         self._live: List[_IterState] = []
@@ -187,6 +192,7 @@ class OuterControllerSim(NodeSim):
         return True
 
     def _tick_tokened(self) -> None:
+        trace = self.trace
         finished: List[_IterState] = []
         for it in self._live:
             for idx, child in enumerate(self.children):
@@ -195,19 +201,43 @@ class OuterControllerSim(NodeSim):
                     if not child.busy:
                         it.status[idx] = "done"
                         self._completed[idx] += 1
+                        if trace is not None:
+                            trace.emit(EventKind.CHILD_DONE, self.name,
+                                       (child.name, it.k))
                 elif state == "pending":
                     if child.busy:
                         continue  # unit occupied by an earlier iteration
                     if self._earlier_pending(idx, it.k):
-                        continue  # in-order per child
+                        # in-order per child: effectively a token wait on
+                        # the child's own earlier iteration
+                        if trace is not None:
+                            self._mark_wait(child, StallCause.TOKEN_WAIT)
+                        continue
                     if self._can_start(idx, it):
                         child.start({**it.bindings}, it.version + (idx,))
                         it.status[idx] = "running"
+                        if trace is not None:
+                            trace.emit(EventKind.CHILD_START, self.name,
+                                       (child.name, it.k))
+                    elif trace is not None:
+                        self._mark_wait(child, self._wait_cause(idx, it))
             if all(s == "done" for s in it.status):
                 finished.append(it)
         for it in finished:
             self._live.remove(it)
             self._after_iteration(it)
+
+    def _wait_cause(self, child_idx: int, it: _IterState) -> StallCause:
+        """Why a startable-slot child could not start: token or credit."""
+        for edge in self._producers.get(child_idx, ()):
+            if it.status[edge.producer] != "done":
+                return StallCause.TOKEN_WAIT
+        return StallCause.CREDIT_WAIT
+
+    def _mark_wait(self, child: NodeSim, cause: StallCause) -> None:
+        """Attribute a control-protocol wait to a child's subtree."""
+        for name in child.leaf_names:
+            self.trace.mark(name, cause)
 
     def _earlier_pending(self, child_idx: int, k: int) -> bool:
         for other in self._live:
@@ -216,14 +246,21 @@ class OuterControllerSim(NodeSim):
         return False
 
     def _tick_streaming(self) -> None:
+        trace = self.trace
         it = self._live[0]
         for idx, child in enumerate(self.children):
             if it.status[idx] == "pending":
                 child.start({**it.bindings}, it.version + (idx,))
                 it.status[idx] = "running"
+                if trace is not None:
+                    trace.emit(EventKind.CHILD_START, self.name,
+                               (child.name, it.k))
             elif it.status[idx] == "running" and not child.busy:
                 it.status[idx] = "done"
                 self._completed[idx] += 1
+                if trace is not None:
+                    trace.emit(EventKind.CHILD_DONE, self.name,
+                               (child.name, it.k))
         if all(s == "done" for s in it.status):
             self._live.remove(it)
             self._after_iteration(it)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.dhdl.memory import BankingMode, Reg, Sram
 from repro.errors import SimulationError
 from repro.patterns.collections import _np_dtype
+from repro.trace.events import EventKind
 
 
 class ScratchpadSim:
@@ -38,6 +39,8 @@ class ScratchpadSim:
         self.reads = 0
         self.writes = 0
         self.conflict_cycles = 0
+        #: attached by the machine when tracing is enabled
+        self.trace = None
 
     def _blank(self) -> np.ndarray:
         return np.zeros(self.sram.shape, dtype=_np_dtype(self.sram.dtype))
@@ -106,6 +109,9 @@ class ScratchpadSim:
             return 0
         extra = self._conflict_extra(flat_addrs)
         self.conflict_cycles += extra
+        if extra and self.trace is not None:
+            self.trace.emit(EventKind.BANK_CONFLICT, self.sram.name,
+                            (extra, len(flat_addrs)))
         return extra
 
     def _conflict_extra(self, flat_addrs) -> int:
@@ -130,11 +136,14 @@ class ScratchpadSim:
             # every write is broadcast to all banks: one word per cycle
             extra = max(0, len(flat_addrs) - 1)
             self.conflict_cycles += extra
-            return extra
-        if mode in (BankingMode.FIFO, BankingMode.LINE_BUFFER):
+        elif mode in (BankingMode.FIFO, BankingMode.LINE_BUFFER):
             return 0
-        extra = self._conflict_extra(flat_addrs)
-        self.conflict_cycles += extra
+        else:
+            extra = self._conflict_extra(flat_addrs)
+            self.conflict_cycles += extra
+        if extra and self.trace is not None:
+            self.trace.emit(EventKind.BANK_CONFLICT, self.sram.name,
+                            (extra, len(flat_addrs)))
         return extra
 
 

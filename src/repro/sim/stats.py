@@ -26,8 +26,13 @@ class SimStats:
     vector_issues: int = 0
     #: cycles lost to scratchpad bank conflicts
     conflict_cycles: int = 0
-    #: cycles lost to FIFO backpressure
+    #: cycles lost to FIFO backpressure (producer found a FIFO full)
     fifo_stall_cycles: int = 0
+    #: cycles a FIFO consumer starved on an empty, still-open FIFO
+    fifo_empty_stall_cycles: int = 0
+    #: cycles an AG could not issue because DRAM queues (or the
+    #: coalescer) were full — a bandwidth, not latency, stall
+    dram_stall_cycles: int = 0
     #: DRAM statistics snapshot (filled by the machine at the end)
     dram: Dict[str, int] = field(default_factory=dict)
     dram_busy_fraction: float = 0.0

@@ -1,0 +1,26 @@
+"""Cycle-level event tracing, stall attribution and timeline export.
+
+The standing observability layer of the fabric simulator: a
+zero-overhead-when-disabled :class:`Tracer` the simulator calls from its
+hot paths, an exact per-cycle stall-attribution pass whose per-unit sums
+reconcile with ``SimStats.cycles``, and exporters to Chrome/Perfetto
+trace JSON and a terminal waterfall.  See ``docs/ARCHITECTURE.md``
+("Observability") for the end-to-end story.
+"""
+
+from repro.trace.attribution import (AttributionReport, CAUSE_ORDER,
+                                     build_report)
+from repro.trace.events import (ACTIVE_CAUSES, CONTROL_CAUSES, EventKind,
+                                StallCause, TraceEvent)
+from repro.trace.export import (CAUSE_GLYPHS, chrome_trace,
+                                render_waterfall, write_chrome_trace)
+from repro.trace.tracer import NULL_TRACER, RingTracer, Tracer
+
+__all__ = [
+    "AttributionReport", "CAUSE_ORDER", "build_report",
+    "ACTIVE_CAUSES", "CONTROL_CAUSES", "EventKind", "StallCause",
+    "TraceEvent",
+    "CAUSE_GLYPHS", "chrome_trace", "render_waterfall",
+    "write_chrome_trace",
+    "NULL_TRACER", "RingTracer", "Tracer",
+]

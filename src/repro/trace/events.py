@@ -1,0 +1,90 @@
+"""Typed trace events and the closed stall taxonomy.
+
+Two layers of observability share these definitions:
+
+* :class:`TraceEvent` — discrete, possibly *sampled* happenings (a vector
+  issue, a DRAM row miss, a FIFO push) kept in a bounded ring buffer for
+  timeline export;
+* :class:`StallCause` — the *exact* per-cycle classification of every
+  unit.  Each simulated cycle, each physical unit (PCU chain or AG
+  transfer engine) is in exactly one of these states, so per-unit cause
+  counts always sum to ``SimStats.cycles``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Tuple
+
+
+class StallCause(enum.Enum):
+    """Closed taxonomy: where one unit-cycle went.
+
+    ``BUSY`` is useful work (a vector issue, an AG burst issue).  All
+    other members are the reasons a cycle was *not* useful work.
+    """
+
+    #: issuing work down the datapath / address streams
+    BUSY = "busy"
+    #: pipeline flush after the last issue (depth + output hops)
+    DRAIN = "drain"
+    #: serialised scratchpad accesses (bank conflict beyond 1 cycle)
+    BANK_CONFLICT = "bank_conflict"
+    #: a downstream FIFO had no room for the worst-case emit
+    FIFO_FULL = "fifo_full"
+    #: an upstream FIFO had no data (and is not yet closed)
+    FIFO_EMPTY = "fifo_empty"
+    #: waiting for a producer's token (control protocol, Section 3.5)
+    TOKEN_WAIT = "token_wait"
+    #: waiting for a consumer's credit (N-buffer depth exhausted)
+    CREDIT_WAIT = "credit_wait"
+    #: DRAM requests in flight, nothing else to do (latency bound)
+    DRAM_LATENCY = "dram_latency"
+    #: DRAM queues / coalescer full, could not issue (bandwidth bound)
+    DRAM_BANDWIDTH = "dram_bandwidth"
+    #: no enclosing activation (before start / after completion)
+    IDLE = "idle"
+
+    def __str__(self):
+        return self.value
+
+
+#: causes attributable to the paper's control protocol (token/credit
+#: handshakes between controllers) — the "control overhead" of Figure 7
+CONTROL_CAUSES = (StallCause.TOKEN_WAIT, StallCause.CREDIT_WAIT)
+
+#: causes that count as "the unit had an activation in flight"
+ACTIVE_CAUSES = tuple(c for c in StallCause if c is not StallCause.IDLE)
+
+
+class EventKind(enum.Enum):
+    """Discrete event types recorded in the ring buffer."""
+
+    ISSUE = "issue"                  # one vector issue (unit, lanes, ops)
+    BANK_CONFLICT = "bank_conflict"  # (unit, memory, extra cycles)
+    FIFO_PUSH = "fifo_push"          # (fifo, words, occupancy after)
+    FIFO_POP = "fifo_pop"            # (fifo, words, occupancy after)
+    FIFO_FULL = "fifo_full"          # producer blocked (fifo, need)
+    FIFO_EMPTY = "fifo_empty"        # consumer starved (fifo,)
+    CHILD_START = "child_start"      # (controller, child, iteration)
+    CHILD_DONE = "child_done"        # (controller, child, iteration)
+    AG_BURST = "ag_burst"            # burst issued (unit, byte_addr, write)
+    COALESCE_HIT = "coalesce_hit"    # request merged (unit, burst)
+    DRAM_ROW_HIT = "dram_row_hit"    # (channel, bank, queued)
+    DRAM_ROW_MISS = "dram_row_miss"  # (channel, bank, queued)
+    DRAM_ROW_EMPTY = "dram_row_empty"  # (channel, bank, queued)
+    DEADLOCK = "deadlock"            # watchdog fired (last progress cycle)
+
+    def __str__(self):
+        return self.value
+
+
+class TraceEvent(NamedTuple):
+    """One recorded event: ``cycle`` it happened, the ``kind``, the
+    ``unit`` (leaf / controller / FIFO / channel name) and a small tuple
+    of kind-specific ``data`` (see :class:`EventKind` comments)."""
+
+    cycle: int
+    kind: EventKind
+    unit: str
+    data: Tuple = ()

@@ -1,0 +1,183 @@
+"""Trace exporters: Chrome/Perfetto JSON and a terminal waterfall.
+
+``chrome_trace`` emits the Trace Event Format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly: one
+process per unit class (fabric units, FIFOs, DRAM channels), one thread
+track per physical unit, an ``X`` (complete) slice per run of identical
+stall cause, plus instant and counter events from the sampled ring
+buffer.  Timestamps are simulated cycles (1 cycle == 1 us in the viewer
+at the 1 GHz fabric clock).
+
+``render_waterfall`` draws the same timelines as fixed-width ASCII, one
+row per unit, dominant cause per time bucket.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.trace.attribution import CAUSE_ORDER, AttributionReport
+from repro.trace.events import EventKind, StallCause, TraceEvent
+from repro.trace.tracer import RingTracer
+
+#: waterfall glyph per cause
+CAUSE_GLYPHS = {
+    StallCause.BUSY: "#",
+    StallCause.DRAIN: "~",
+    StallCause.BANK_CONFLICT: "b",
+    StallCause.FIFO_FULL: "f",
+    StallCause.FIFO_EMPTY: "e",
+    StallCause.TOKEN_WAIT: "t",
+    StallCause.CREDIT_WAIT: "c",
+    StallCause.DRAM_LATENCY: "L",
+    StallCause.DRAM_BANDWIDTH: "B",
+    StallCause.IDLE: ".",
+}
+
+#: instant-event kinds routed to the emitting unit's own track
+_UNIT_INSTANTS = (EventKind.BANK_CONFLICT, EventKind.AG_BURST,
+                  EventKind.COALESCE_HIT, EventKind.CHILD_START,
+                  EventKind.CHILD_DONE, EventKind.DEADLOCK,
+                  EventKind.FIFO_FULL, EventKind.FIFO_EMPTY)
+
+_PID_FABRIC, _PID_FIFO, _PID_DRAM = 1, 2, 3
+
+
+def _segments(tracer: RingTracer, unit: str,
+              total: int) -> List[Tuple[int, int, StallCause]]:
+    """(start, end, cause) spans covering the traced timeline."""
+    timeline = tracer.timeline_of(unit)
+    spans = []
+    for k, (start, cause) in enumerate(timeline):
+        end = timeline[k + 1][0] if k + 1 < len(timeline) else total + 1
+        if end > start:
+            spans.append((start, end, cause))
+    return spans
+
+
+def chrome_trace(tracer: RingTracer,
+                 report: AttributionReport) -> Dict:
+    """The full trace as a Trace-Event-Format dict (JSON-able)."""
+    total = max(tracer.total_cycles, report.cycles)
+    events: List[Dict] = []
+    tids: Dict[Tuple[int, str], int] = {}
+
+    def tid_of(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append({"ph": "M", "pid": pid, "tid": tids[key],
+                           "name": "thread_name",
+                           "args": {"name": track}})
+        return tids[key]
+
+    for pid, name in ((_PID_FABRIC, "fabric units"),
+                      (_PID_FIFO, "FIFOs"),
+                      (_PID_DRAM, "DRAM channels")):
+        events.append({"ph": "M", "pid": pid, "tid": 0,
+                       "name": "process_name", "args": {"name": name}})
+
+    # one slice track per physical unit, ordered PCUs then AGs
+    for unit in sorted(report.per_unit,
+                       key=lambda u: (report.unit_kind.get(u, "?"), u)):
+        kind = report.unit_kind.get(unit, "?")
+        tid = tid_of(_PID_FABRIC, f"{kind}:{unit}")
+        for start, end, cause in _segments(tracer, unit, total):
+            if cause is StallCause.IDLE:
+                continue
+            events.append({"ph": "X", "pid": _PID_FABRIC, "tid": tid,
+                           "ts": start, "dur": end - start,
+                           "name": str(cause), "cat": kind})
+
+    # sampled discrete events: instants + FIFO occupancy counters
+    for ev in tracer.events:
+        events.append(_event_json(ev, tid_of))
+
+    totals = report.totals()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "cycles": report.cycles,
+            "sample": tracer.sample,
+            "events_dropped": tracer.events_dropped,
+            "control_overhead": report.control_overhead(),
+            "totals": {str(c): totals.get(c, 0) for c in CAUSE_ORDER},
+        },
+    }
+
+
+def _event_json(ev: TraceEvent, tid_of) -> Dict:
+    """One ring-buffer event as a trace-event record."""
+    if ev.kind in (EventKind.FIFO_PUSH, EventKind.FIFO_POP):
+        occupancy = ev.data[1] if len(ev.data) > 1 else 0
+        return {"ph": "C", "pid": _PID_FIFO,
+                "tid": tid_of(_PID_FIFO, f"fifo:{ev.unit}"),
+                "ts": ev.cycle, "name": f"fifo:{ev.unit}",
+                "args": {"occupancy": occupancy}}
+    if ev.kind in (EventKind.DRAM_ROW_HIT, EventKind.DRAM_ROW_MISS,
+                   EventKind.DRAM_ROW_EMPTY):
+        return {"ph": "i", "pid": _PID_DRAM,
+                "tid": tid_of(_PID_DRAM, f"channel:{ev.unit}"),
+                "ts": ev.cycle, "s": "t", "name": str(ev.kind),
+                "args": {"data": list(ev.data)}}
+    pid = _PID_FABRIC if ev.kind in _UNIT_INSTANTS else _PID_FIFO
+    return {"ph": "i", "pid": pid,
+            "tid": tid_of(pid, f"events:{ev.unit}"),
+            "ts": ev.cycle, "s": "t", "name": str(ev.kind),
+            "args": {"data": list(ev.data)}}
+
+
+def write_chrome_trace(path: str, tracer: RingTracer,
+                       report: AttributionReport) -> None:
+    """Serialise the Chrome trace JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, report), handle)
+
+
+def render_waterfall(tracer: RingTracer, report: AttributionReport,
+                     width: int = 64) -> str:
+    """ASCII utilization waterfall: one row per unit, one glyph per
+    time bucket (the bucket's dominant cause)."""
+    total = max(tracer.total_cycles, report.cycles, 1)
+    width = min(width, total)
+    name_w = max((len(u) for u in report.per_unit), default=4)
+    lines = [f"utilization waterfall ({total} cycles, "
+             f"{total / width:.0f} cycles/column)"]
+    for unit in sorted(report.per_unit,
+                       key=lambda u: (report.unit_kind.get(u, "?"), u)):
+        row = _bucket_row(tracer, unit, total, width)
+        busy = report.per_unit[unit].get(StallCause.BUSY, 0)
+        lines.append(f"{unit:<{name_w}} |{row}| "
+                     f"{100 * busy / total:5.1f}% busy")
+    legend = "  ".join(f"{glyph}={cause}" for cause, glyph
+                       in CAUSE_GLYPHS.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def _bucket_row(tracer: RingTracer, unit: str, total: int,
+                width: int) -> str:
+    """Dominant-cause glyph per bucket for one unit."""
+    weights = [dict() for _ in range(width)]
+    for start, end, cause in _segments(tracer, unit, total):
+        lo = min(start - 1, total - 1)
+        hi = min(end - 1, total)
+        first = lo * width // total
+        last = max(first, (hi - 1) * width // total)
+        for bucket in range(first, min(last + 1, width)):
+            b_lo = bucket * total // width
+            b_hi = (bucket + 1) * total // width
+            overlap = min(hi, b_hi) - max(lo, b_lo)
+            if overlap > 0:
+                weights[bucket][cause] = (
+                    weights[bucket].get(cause, 0) + overlap)
+    row = []
+    for bucket in weights:
+        if not bucket:
+            row.append(CAUSE_GLYPHS[StallCause.IDLE])
+            continue
+        dominant = max(bucket, key=bucket.get)
+        row.append(CAUSE_GLYPHS[dominant])
+    return "".join(row)

@@ -1,0 +1,172 @@
+"""Tracer protocol: zero-overhead-when-disabled event recording.
+
+:class:`Tracer` is both the protocol and the *null* implementation —
+every hook is a no-op and ``enabled`` is False, so instrumentation sites
+in the simulator guard their argument construction with a single
+attribute test and cost nothing on untraced runs.  :data:`NULL_TRACER`
+is the shared default instance.
+
+:class:`RingTracer` is the real recorder:
+
+* **exact attribution** — one :class:`~repro.trace.events.StallCause`
+  per registered unit per cycle, accumulated into counters and into a
+  run-length-encoded per-unit timeline (bounded);
+* **sampled events** — discrete :class:`TraceEvent` records kept in a
+  bounded ring buffer; ``sample=N`` records detailed events only on
+  cycles divisible by N so million-cycle runs stay tractable (cause
+  counters stay exact regardless of sampling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.trace.events import EventKind, StallCause, TraceEvent
+
+
+class Tracer:
+    """Disabled tracer: the protocol, as no-ops."""
+
+    #: instrumentation sites test this before building event payloads
+    enabled = False
+
+    # -- registry -----------------------------------------------------------------
+    def register_unit(self, name: str, kind: str,
+                      path: Tuple[str, ...]) -> None:
+        """Declare one attributed unit (leaf) and its controller path."""
+
+    def register_track(self, name: str, kind: str) -> None:
+        """Declare one auxiliary event track (FIFO, DRAM channel...)."""
+
+    # -- per-cycle attribution ------------------------------------------------------
+    def begin_cycle(self, cycle: int) -> None:
+        """Start a simulated cycle (sets the implicit event timestamp)."""
+
+    def mark(self, unit: str, cause: StallCause) -> None:
+        """Classify ``unit``'s current cycle (first mark wins)."""
+
+    def end_cycle(self) -> None:
+        """Fold this cycle's marks into counters; unmarked units are
+        IDLE."""
+
+    # -- events --------------------------------------------------------------------
+    def emit(self, kind: EventKind, unit: str, data: Tuple = ()) -> None:
+        """Record one discrete event at the current cycle (sampled)."""
+
+    def progress(self, cycle: int) -> None:
+        """The machine observed forward progress at ``cycle``."""
+
+    def finalize(self, cycles: int) -> None:
+        """Run ended after ``cycles`` cycles."""
+
+
+#: the shared disabled tracer (default for every Machine)
+NULL_TRACER = Tracer()
+
+
+class RingTracer(Tracer):
+    """Recording tracer with bounded memory.
+
+    ``capacity`` bounds the discrete-event ring buffer; ``sample``
+    records events only every N-th cycle; ``timeline_capacity`` bounds
+    the per-unit run-length-encoded cause timeline (oldest segments are
+    dropped first and reported as truncated).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 200_000, sample: int = 1,
+                 timeline_capacity: int = 65_536):
+        if sample < 1:
+            raise ValueError("sample must be >= 1")
+        self.capacity = capacity
+        self.sample = sample
+        self.units: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+        self.tracks: Dict[str, str] = {}
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.events_emitted = 0
+        self.counts: Dict[str, Dict[StallCause, int]] = {}
+        #: unit -> RLE segments [(start_cycle, cause), ...]
+        self.timelines: Dict[str, Deque[Tuple[int, StallCause]]] = {}
+        self._last_cause: Dict[str, Optional[StallCause]] = {}
+        self._timeline_capacity = timeline_capacity
+        self._marks: Dict[str, StallCause] = {}
+        self.cycle = 0
+        self._record_events = True
+        self.last_progress_cycle = 0
+        self.total_cycles = 0
+
+    # -- registry -----------------------------------------------------------------
+    def register_unit(self, name, kind, path):
+        self.units[name] = (kind, tuple(path))
+        self.counts[name] = {}
+        self.timelines[name] = deque(maxlen=self._timeline_capacity)
+        self._last_cause[name] = None
+
+    def register_track(self, name, kind):
+        self.tracks[name] = kind
+
+    # -- per-cycle attribution ------------------------------------------------------
+    def begin_cycle(self, cycle):
+        self.cycle = cycle
+        self._record_events = (cycle % self.sample) == 0
+
+    def mark(self, unit, cause):
+        if unit not in self.counts:
+            raise KeyError(f"mark for unregistered unit {unit!r}")
+        if unit not in self._marks:
+            self._marks[unit] = cause
+
+    def end_cycle(self):
+        marks = self._marks
+        cycle = self.cycle
+        for unit, counts in self.counts.items():
+            cause = marks.get(unit, StallCause.IDLE)
+            counts[cause] = counts.get(cause, 0) + 1
+            if cause is not self._last_cause[unit]:
+                self._last_cause[unit] = cause
+                self.timelines[unit].append((cycle, cause))
+        marks.clear()
+
+    def current_marks(self) -> Dict[str, StallCause]:
+        """This cycle's (possibly partial) classifications — used by the
+        deadlock report to say what everyone was waiting on."""
+        return dict(self._marks)
+
+    # -- events --------------------------------------------------------------------
+    def emit(self, kind, unit, data=()):
+        if not self._record_events:
+            return
+        self.events_emitted += 1
+        self.events.append(TraceEvent(self.cycle, kind, unit, data))
+
+    @property
+    def events_dropped(self) -> int:
+        """Events evicted from the ring buffer."""
+        return self.events_emitted - len(self.events)
+
+    def progress(self, cycle):
+        self.last_progress_cycle = cycle
+
+    def finalize(self, cycles):
+        self.total_cycles = cycles
+
+    # -- queries -------------------------------------------------------------------
+    def cause_cycles(self, unit: str, cause: StallCause) -> int:
+        """Attributed cycles of one cause for one unit."""
+        return self.counts.get(unit, {}).get(cause, 0)
+
+    def total_cause_cycles(self, cause: StallCause) -> int:
+        """Attributed cycles of one cause summed over all units."""
+        return sum(c.get(cause, 0) for c in self.counts.values())
+
+    def timeline_of(self, unit: str) -> List[Tuple[int, StallCause]]:
+        """RLE timeline segments (start_cycle, cause) for one unit."""
+        return list(self.timelines.get(unit, ()))
+
+    def timeline_truncated(self, unit: str) -> bool:
+        """True when the unit's timeline ring dropped old segments."""
+        timeline = self.timelines.get(unit)
+        return (timeline is not None
+                and len(timeline) == self._timeline_capacity)

@@ -129,3 +129,42 @@ def test_table3_ranges_without_sweeps():
     assert rows["stages"]["selected"] == 6
     assert rows["stages"]["paper"] == 6
     assert "Table 3" in table3.render(rows)
+
+
+# -- control overhead (stall attribution) ------------------------------------------
+
+
+def test_control_overhead_values_pinned():
+    """Regression-pin the token/credit overhead of three benchmarks as
+    measured by the exact attribution pass (the sim is deterministic,
+    so these are equalities up to float formatting)."""
+    from repro.apps import get_app
+    from repro.eval import table6
+
+    results = table6.control_overhead(
+        scale="tiny",
+        apps=[get_app(n) for n in ("gemm", "tpchq6", "kmeans")])
+    expected = {
+        "gemm": (0.43260188087774293, 138, 143),
+        "tpchq6": (0.19823788546255505, 45, 78),
+        "kmeans": (0.90641467013279, 12901, 1052),
+    }
+    for name, (overhead, token, cycles) in expected.items():
+        r = results[name]
+        assert r["control_overhead"] == pytest.approx(overhead,
+                                                      abs=1e-12), name
+        assert r["token_wait"] == token, name
+        assert r["credit_wait"] == 0, name
+        assert r["cycles"] == cycles, name
+
+
+def test_control_overhead_render():
+    from repro.apps import get_app
+    from repro.eval import table6
+
+    results = table6.control_overhead(scale="tiny",
+                                      apps=[get_app("gemm")])
+    text = table6.render_control(results)
+    assert "Control overhead" in text
+    assert "gemm" in text
+    assert "0.433" in text

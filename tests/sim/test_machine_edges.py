@@ -131,3 +131,41 @@ def test_gather_out_of_bounds_index_reported():
     machine = Machine(compiled.dhdl, compiled.config)
     with pytest.raises(SimulationError, match="out of bounds"):
         machine.run()
+
+
+def test_deadlock_message_reports_progress_and_stall_causes():
+    """With tracing on, the deadlock report names the last cycle that
+    made progress and what the stuck units were waiting on."""
+    from repro.trace import EventKind, RingTracer
+
+    dhdl = DhdlProgram("dead")
+    array_in = Array("a", (64,), E.FLOAT32,
+                     data=np.ones(64, dtype=np.float32))
+    dram_in = dhdl.dram(array_in)
+    tile = dhdl.sram("t", (64,), E.FLOAT32)
+    fifo = dhdl.fifo("f", depth=1)
+    pipe = OuterController("pipe", Scheme.PIPELINE)
+    dhdl.root.add(pipe)
+    pipe.add(TileLoad("ld", dram_in, tile, (0,), (64,)))
+    stream = OuterController("s", Scheme.STREAMING)
+    pipe.add(stream)
+    i = E.Idx("i")
+    chain = CounterChain([Counter(0, 64, par=16)], [i])
+    stream.add(InnerCompute("emit_only", chain,
+                            [EmitStmt(fifo, True, tile[i])]))
+    # no StreamStore: the FIFO fills and nothing ever drains it
+    config = FabricConfig()
+    for leaf in dhdl.leaves():
+        config.leaf_timing[leaf.name] = LeafTiming()
+        config.ag_assign[leaf.name] = AgAssignment()
+    tracer = RingTracer()
+    machine = Machine(dhdl, config, watchdog=500, tracer=tracer)
+    with pytest.raises(DeadlockError) as err:
+        machine.run()
+    message = str(err.value)
+    assert "no progress since cycle" in message
+    assert str(tracer.last_progress_cycle) in message
+    assert "stall causes" in message
+    assert "fifo_full" in message  # the producer is backpressured
+    # the tracer records the deadlock itself as a discrete event
+    assert any(e.kind is EventKind.DEADLOCK for e in tracer.events)

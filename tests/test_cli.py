@@ -64,3 +64,30 @@ def test_floorplan_marks_units():
     grid_lines = [l for l in text.splitlines()
                   if l and l[0] in ".,ABCDEFGHIJKLMNOPQRSTUVWXYZ"]
     assert len(grid_lines) == 8
+
+
+def test_run_with_trace_prints_attribution(capsys):
+    assert main(["run", "gemm", "--scale", "tiny", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "VALIDATED" in out
+    assert "Stall attribution" in out
+    assert "utilization waterfall" in out
+    assert "legend:" in out
+
+
+def test_run_with_trace_path_writes_chrome_json(tmp_path, capsys):
+    import json
+    path = tmp_path / "trace.json"
+    assert main(["run", "gemm", "--scale", "tiny",
+                 f"--trace={path}", "--trace-sample", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote Chrome trace" in out
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+    assert doc["otherData"]["sample"] == 4
+
+
+def test_run_without_trace_has_no_attribution(capsys):
+    assert main(["run", "gemm", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Stall attribution" not in out

@@ -1,0 +1,119 @@
+"""Tracer unit tests: null tracer, ring buffer, sampling, RLE timelines."""
+
+import pytest
+
+from repro.trace import (NULL_TRACER, EventKind, RingTracer, StallCause,
+                         Tracer)
+
+
+def test_null_tracer_is_inert():
+    t = Tracer()
+    assert t.enabled is False
+    # every hook is a no-op and returns None
+    t.register_unit("u", "pcu", ("root",))
+    t.register_track("f", "fifo")
+    t.begin_cycle(1)
+    t.mark("u", StallCause.BUSY)
+    t.emit(EventKind.ISSUE, "u", (16, 0))
+    t.progress(1)
+    t.end_cycle()
+    t.finalize(1)
+    assert NULL_TRACER.enabled is False
+
+
+def test_first_mark_wins():
+    t = RingTracer()
+    t.register_unit("u", "pcu", ("root",))
+    t.begin_cycle(1)
+    t.mark("u", StallCause.TOKEN_WAIT)
+    t.mark("u", StallCause.BUSY)  # later mark must not override
+    t.end_cycle()
+    assert t.counts["u"][StallCause.TOKEN_WAIT] == 1
+    assert StallCause.BUSY not in t.counts["u"]
+
+
+def test_unmarked_cycles_fill_idle():
+    t = RingTracer()
+    t.register_unit("u", "pcu", ("root",))
+    for cycle in range(1, 6):
+        t.begin_cycle(cycle)
+        if cycle == 3:
+            t.mark("u", StallCause.BUSY)
+        t.end_cycle()
+    assert t.counts["u"][StallCause.IDLE] == 4
+    assert t.counts["u"][StallCause.BUSY] == 1
+
+
+def test_ring_buffer_bounded():
+    t = RingTracer(capacity=10)
+    t.register_unit("u", "pcu", ("root",))
+    for cycle in range(1, 101):
+        t.begin_cycle(cycle)
+        t.emit(EventKind.ISSUE, "u", (16, 0))
+        t.end_cycle()
+    assert len(t.events) == 10
+    assert t.events_emitted == 100
+    assert t.events_dropped == 90
+    # ring keeps the newest events
+    assert t.events[-1].cycle == 100
+
+
+def test_sampling_skips_off_cycles_but_attribution_is_exact():
+    t = RingTracer(sample=4)
+    t.register_unit("u", "pcu", ("root",))
+    for cycle in range(1, 17):
+        t.begin_cycle(cycle)
+        t.mark("u", StallCause.BUSY)
+        t.emit(EventKind.ISSUE, "u", (16, 0))
+        t.end_cycle()
+    # events only on cycles 4, 8, 12, 16
+    assert len(t.events) == 4
+    assert all(e.cycle % 4 == 0 for e in t.events)
+    # attribution counters never sampled
+    assert t.counts["u"][StallCause.BUSY] == 16
+
+
+def test_rle_timeline_merges_runs():
+    t = RingTracer()
+    t.register_unit("u", "pcu", ("root",))
+    plan = [StallCause.BUSY] * 3 + [StallCause.IDLE] * 2 + [StallCause.BUSY]
+    for cycle, cause in enumerate(plan, start=1):
+        t.begin_cycle(cycle)
+        if cause is not StallCause.IDLE:
+            t.mark("u", cause)
+        t.end_cycle()
+    timeline = t.timeline_of("u")
+    assert list(timeline) == [(1, StallCause.BUSY), (4, StallCause.IDLE),
+                              (6, StallCause.BUSY)]
+
+
+def test_timeline_capacity_bounds_memory():
+    t = RingTracer(timeline_capacity=4)
+    t.register_unit("u", "pcu", ("root",))
+    for cycle in range(1, 21):
+        t.begin_cycle(cycle)
+        # alternate causes so every cycle opens a new RLE segment
+        t.mark("u", StallCause.BUSY if cycle % 2 else StallCause.DRAIN)
+        t.end_cycle()
+    assert len(t.timeline_of("u")) == 4
+    assert t.timeline_truncated("u")
+
+
+def test_mark_unknown_unit_rejected():
+    t = RingTracer()
+    t.begin_cycle(1)
+    with pytest.raises(KeyError):
+        t.mark("ghost", StallCause.BUSY)
+
+
+def test_cause_cycles_helpers():
+    t = RingTracer()
+    t.register_unit("a", "pcu", ("root",))
+    t.register_unit("b", "ag", ("root",))
+    t.begin_cycle(1)
+    t.mark("a", StallCause.BUSY)
+    t.mark("b", StallCause.DRAM_LATENCY)
+    t.end_cycle()
+    assert t.cause_cycles("a", StallCause.BUSY) == 1
+    assert t.total_cause_cycles(StallCause.DRAM_LATENCY) == 1
+    assert t.total_cause_cycles(StallCause.IDLE) == 0
