@@ -10,7 +10,15 @@ Commands
     Compile, cycle-simulate and validate one benchmark.  With
     ``--trace`` the simulator records per-cycle stall attribution and
     prints the breakdown plus a utilization waterfall; give a PATH to
-    also write a Chrome/Perfetto trace JSON.
+    also write a Chrome/Perfetto trace JSON.  ``--scheduler``
+    selects the cycle loop (event-driven wakeup scheduler by default,
+    ``dense`` for the tick-everything reference), ``--max-cycles`` and
+    ``--watchdog`` bound runaway and deadlocked simulations.
+``bench [--quick] [--baseline PATH]``
+    Simulator performance harness: run the benchmark registry, report
+    wall-clock seconds / simulated cycles / cycles-per-second per
+    benchmark, and write ``BENCH_<rev>.json``.  With ``--baseline``
+    compare against a committed report and fail on regression.
 ``table5 | table6 | table7``
     Regenerate a paper table.
 ``figure7 PARAM``
@@ -70,7 +78,10 @@ def _cmd_run(args) -> int:
         from repro.trace import RingTracer
         tracer = RingTracer(sample=args.trace_sample)
     started = time.time()
-    machine = Machine(compiled.dhdl, compiled.config, tracer=tracer)
+    machine = Machine(compiled.dhdl, compiled.config, tracer=tracer,
+                      scheduler=args.scheduler,
+                      max_cycles=args.max_cycles,
+                      watchdog=args.watchdog)
     stats = machine.run()
     sim_s = time.time() - started
     results = {name: machine.result(name) for name in expected}
@@ -207,6 +218,44 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="record detailed events only every N cycles "
                           "(attribution stays exact)")
+    run.add_argument("--scheduler", default="event",
+                     choices=("event", "dense"),
+                     help="cycle loop: event-driven wakeup scheduler "
+                          "(default) or the dense reference loop")
+    run.add_argument("--max-cycles", type=_positive_int,
+                     default=20_000_000, metavar="N",
+                     help="abort the simulation after N cycles")
+    run.add_argument("--watchdog", type=_positive_int, default=50_000,
+                     metavar="N",
+                     help="raise DeadlockError after N cycles without "
+                          "forward progress")
+    bench = sub.add_parser(
+        "bench", help="simulator performance harness")
+    bench.add_argument("--scale", default="small",
+                       choices=("tiny", "small"))
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny scale, single repetition (CI mode)")
+    bench.add_argument("--scheduler", default="event",
+                       choices=("event", "dense"))
+    bench.add_argument("--compare-dense", action="store_true",
+                       help="also run the dense reference loop and "
+                            "report the event-scheduler speedup")
+    bench.add_argument("--repeat", type=_positive_int, default=3,
+                       metavar="N",
+                       help="timing repetitions per benchmark "
+                            "(best-of-N)")
+    bench.add_argument("--apps", nargs="*", metavar="APP",
+                       help="subset of registry benchmarks")
+    bench.add_argument("--out", default=".", metavar="DIR",
+                       help="directory for BENCH_<rev>.json")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="compare against a committed report and "
+                            "fail on >threshold cycles/sec regression "
+                            "or any simulated-cycle-count change")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       metavar="F",
+                       help="allowed fractional cycles/sec regression "
+                            "vs the baseline (default 0.25)")
     for name in ("table5", "table6", "table7"):
         t = sub.add_parser(name, help=f"regenerate {name}")
         t.add_argument("--scale", default="small",
@@ -227,6 +276,9 @@ def main(argv=None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "bench":
+        from repro.eval.bench import cmd_bench
+        return cmd_bench(args)
     if args.command in ("table5", "table6", "table7"):
         return _cmd_table(args)
     if args.command == "figure7":

@@ -36,6 +36,9 @@ class Channel:
         #: attached by the DramModel when tracing is enabled
         self.trace = None
         self.trace_name = "?"
+        #: attached by the event scheduler: called whenever a request
+        #: leaves the queue (queue room may have freed)
+        self.on_dequeue = None
 
     # -- interface ------------------------------------------------------------
     def can_accept(self) -> bool:
@@ -57,6 +60,8 @@ class Channel:
         if choice is None:
             return
         self.queue.remove(choice)
+        if self.on_dequeue is not None:
+            self.on_dequeue()
         _, bank_id, row, _ = self.geometry.map_address(choice.byte_addr)
         bank = self.banks[bank_id]
         if not bank.is_hit(row):

@@ -75,6 +75,26 @@ class DramModel:
             for request in channel.drain_completed():
                 self._completed.append(request)
 
+    def next_completion(self) -> Optional[int]:
+        """Cycle of the earliest undelivered completion (None if none).
+
+        Only meaningful while every channel queue is empty: queued
+        requests have no completion cycle until the FR-FCFS scheduler
+        issues them.
+        """
+        if not self._completed:
+            return None
+        return min(r.complete_cycle for r in self._completed)
+
+    def advance_to(self, cycle: int) -> None:
+        """Fast-forward the memory clock across provably idle cycles.
+
+        Valid only while all channel queues are empty (ticking an empty
+        channel is a no-op, so skipping those ticks is exact); in-flight
+        completions mature against the advanced clock via ``deliver``.
+        """
+        self.cycle = cycle
+
     def deliver(self) -> List[DramRequest]:
         """Requests whose data transfer has finished by the current cycle.
 

@@ -1,0 +1,273 @@
+"""Simulator performance harness: ``repro bench``.
+
+Times the cycle simulator itself (not the modelled hardware) over the
+benchmark registry and writes a machine-readable report,
+``BENCH_<rev>.json``:
+
+* per benchmark — simulated cycles, best-of-N wall-clock seconds,
+  simulated cycles per wall-clock second, and (event scheduler) how many
+  cycles were executed vs fast-forwarded;
+* totals — aggregate cycles, seconds and cycles/sec.
+
+The report doubles as a regression gate: :func:`compare` checks a fresh
+report against a committed baseline and fails on
+
+* any *simulated cycle count* change (the simulator's answer changed —
+  a correctness, not performance, regression), or
+* a cycles-per-second drop beyond the allowed threshold on the
+  aggregate throughput (per-benchmark wall times are too noisy on
+  shared CI runners to gate individually).
+
+Wall-clock timing covers ``Machine.run`` only; program build and
+compilation are reported separately and not gated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Dict, List, Optional
+
+#: report format version (bump on incompatible layout changes)
+FORMAT = 1
+
+
+def _build_dram_rowconf(scale: str):
+    """Hand-built DHDL stressor: a DRAM-latency-bound transfer loop.
+
+    A sequential outer loop moves one 16-word tile per iteration from
+    DRAM to DRAM through a scratchpad.  A padding array places the
+    output exactly one row-group (4096 bursts) after the input, so each
+    iteration's load and store hit the *same bank in different rows* —
+    every burst pays the full precharge+activate row-miss latency.  The
+    fabric spends almost all cycles waiting on DRAM, which is exactly
+    the shape the event scheduler's fast-forward is built for; this is
+    the workload the CI gate watches for event-scheduler regressions.
+    """
+    import numpy as np
+    from repro.dhdl import (Counter, CounterChain, DhdlProgram,
+                            OuterController, Scheme, TileLoad, TileStore,
+                            validate)
+    from repro.patterns import Array
+    from repro.patterns import expr as E
+    from repro.sim import AgAssignment, FabricConfig, LeafTiming
+
+    iters = {"tiny": 128}.get(scale, 512)
+    tile = 16
+    n = iters * tile
+    data = np.arange(n, dtype=np.float32)
+    dhdl = DhdlProgram("dram_rowconf")
+    dram_in = dhdl.dram(Array("a", (n,), E.FLOAT32, data=data))
+    # 'a' occupies n*4 bytes from its 4 KB-aligned base; pad out to one
+    # 256 KB row-group so 'o' shares channel+bank but not row with 'a'
+    pad_words = (262144 - 4 * n) // 4
+    dhdl.dram(Array("pad", (pad_words,), E.FLOAT32))
+    dram_out = dhdl.dram(Array("o", (n,), E.FLOAT32))
+    sram = dhdl.sram("t", (tile,), E.FLOAT32, nbuf=2)
+    t = E.Idx("t")
+    loop = OuterController(
+        "loop", Scheme.SEQUENTIAL,
+        chain=CounterChain([Counter(0, iters, par=1)], [t]))
+    dhdl.root.add(loop)
+    loop.add(TileLoad("ld", dram_in, sram, (t * tile,), (tile,)))
+    loop.add(TileStore("st", dram_out, sram, (t * tile,), (tile,)))
+    validate(dhdl)
+    config = FabricConfig()
+    for leaf in dhdl.leaves():
+        config.leaf_timing[leaf.name] = LeafTiming()
+        config.ag_assign[leaf.name] = AgAssignment(ag_ids=(0,))
+    config.pcus_used = 1
+    config.pmus_used = 1
+    config.ags_used = 1
+
+    def check(machine):
+        got = machine.result("o")
+        if not np.array_equal(got, data):
+            raise AssertionError("dram_rowconf: output mismatch")
+
+    return dhdl, config, check
+
+
+#: synthetic (hand-built DHDL) benchmarks timed alongside the registry
+SYNTHETIC = {"dram_rowconf": _build_dram_rowconf}
+
+
+def git_rev(default: str = "local") -> str:
+    """Short git revision of the working tree, or ``default``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+def run_benchmarks(scale: str = "small", scheduler: str = "event",
+                   repeat: int = 3,
+                   apps: Optional[List[str]] = None,
+                   compare_dense: bool = False) -> dict:
+    """Run the registry under one scheduler and collect timings."""
+    from repro.apps.registry import ALL_APPS, get_app
+    from repro.compiler import compile_program
+    from repro.sim import Machine
+
+    if apps:
+        selected = [get_app(name) for name in apps
+                    if name not in SYNTHETIC]
+        synthetic = [name for name in apps if name in SYNTHETIC]
+    else:
+        selected = list(ALL_APPS)
+        synthetic = list(SYNTHETIC)
+    worklist = []
+    for app in selected:
+        program = app.build(scale)
+        t0 = time.perf_counter()
+        compiled = compile_program(program)
+        compile_s = time.perf_counter() - t0
+        worklist.append((app.name, compiled.dhdl, compiled.config,
+                         compile_s, None))
+    for name in synthetic:
+        dhdl, config, check = SYNTHETIC[name](scale)
+        worklist.append((name, dhdl, config, 0.0, check))
+    rows = []
+    for name, dhdl, config, compile_s, check in worklist:
+        row: Dict = {"name": name, "compile_s": round(compile_s, 6)}
+        for mode in ([scheduler, "dense"] if compare_dense
+                     else [scheduler]):
+            best_s = None
+            for _ in range(max(1, repeat)):
+                machine = Machine(dhdl, config, scheduler=mode)
+                t0 = time.perf_counter()
+                stats = machine.run()
+                wall = time.perf_counter() - t0
+                if best_s is None or wall < best_s:
+                    best_s = wall
+                    best = machine, stats
+            machine, stats = best
+            if check is not None:
+                check(machine)
+            entry = {
+                "cycles": stats.cycles,
+                "wall_s": round(best_s, 6),
+                "cycles_per_sec": round(stats.cycles / best_s)
+                if best_s > 0 else 0,
+            }
+            sched = machine.scheduler_stats
+            if sched is not None:
+                entry["executed_cycles"] = sched.executed_cycles
+                entry["fast_forwarded_cycles"] = \
+                    sched.fast_forwarded_cycles
+            if mode == scheduler:
+                row.update(entry)
+            else:
+                row["dense"] = entry
+        if compare_dense and scheduler != "dense":
+            dense_s = row["dense"]["wall_s"]
+            row["speedup_vs_dense"] = round(
+                dense_s / row["wall_s"], 3) if row["wall_s"] > 0 else 0.0
+        rows.append(row)
+    total_cycles = sum(r["cycles"] for r in rows)
+    total_s = sum(r["wall_s"] for r in rows)
+    return {
+        "format": FORMAT,
+        "rev": git_rev(),
+        "scale": scale,
+        "scheduler": scheduler,
+        "repeat": repeat,
+        "benchmarks": rows,
+        "totals": {
+            "cycles": total_cycles,
+            "wall_s": round(total_s, 6),
+            "cycles_per_sec": round(total_cycles / total_s)
+            if total_s > 0 else 0,
+        },
+    }
+
+
+def write_report(report: dict, out_dir: str = ".") -> str:
+    """Write ``BENCH_<rev>.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{report['rev']}.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def compare(current: dict, baseline: dict,
+            threshold: float = 0.25) -> List[str]:
+    """Regression check; returns a list of failure messages (empty =
+    pass)."""
+    failures: List[str] = []
+    base_rows = {r["name"]: r for r in baseline.get("benchmarks", ())}
+    for row in current["benchmarks"]:
+        base = base_rows.get(row["name"])
+        if base is None:
+            continue  # new benchmark: nothing to regress against
+        if row["cycles"] != base["cycles"]:
+            failures.append(
+                f"{row['name']}: simulated cycles changed "
+                f"{base['cycles']} -> {row['cycles']} (the simulator's "
+                f"answer changed; refresh the baseline only if this is "
+                f"an intended model change)")
+    cur_rate = current["totals"]["cycles_per_sec"]
+    base_rate = baseline["totals"]["cycles_per_sec"]
+    if base_rate > 0 and cur_rate < base_rate * (1.0 - threshold):
+        failures.append(
+            f"throughput regression: {cur_rate} cycles/sec vs baseline "
+            f"{base_rate} (allowed: >= {1.0 - threshold:.0%} of "
+            f"baseline)")
+    return failures
+
+
+def render(report: dict) -> str:
+    """Human-readable table for the terminal."""
+    lines = [f"simulator benchmark — scale={report['scale']} "
+             f"scheduler={report['scheduler']} rev={report['rev']}",
+             f"{'benchmark':14s} {'cycles':>9s} {'wall ms':>9s} "
+             f"{'Mcyc/s':>8s} {'exec':>9s} {'fastfwd':>9s}"
+             + ("  speedup" if any('speedup_vs_dense' in r for r in
+                                   report['benchmarks']) else "")]
+    for row in report["benchmarks"]:
+        line = (f"{row['name']:14s} {row['cycles']:9d} "
+                f"{row['wall_s'] * 1e3:9.2f} "
+                f"{row['cycles_per_sec'] / 1e6:8.2f} "
+                f"{row.get('executed_cycles', row['cycles']):9d} "
+                f"{row.get('fast_forwarded_cycles', 0):9d}")
+        if "speedup_vs_dense" in row:
+            line += f"  {row['speedup_vs_dense']:6.2f}x"
+        lines.append(line)
+    totals = report["totals"]
+    lines.append(f"{'total':14s} {totals['cycles']:9d} "
+                 f"{totals['wall_s'] * 1e3:9.2f} "
+                 f"{totals['cycles_per_sec'] / 1e6:8.2f}")
+    return "\n".join(lines)
+
+
+def cmd_bench(args) -> int:
+    """Entry point for ``repro bench`` (wired from the CLI)."""
+    import sys
+    scale = "tiny" if args.quick else args.scale
+    repeat = 1 if args.quick else args.repeat
+    report = run_benchmarks(scale=scale, scheduler=args.scheduler,
+                            repeat=repeat, apps=args.apps or None,
+                            compare_dense=args.compare_dense)
+    print(render(report))
+    path = write_report(report, args.out)
+    print(f"\nwrote {path}")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = compare(report, baseline, threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed "
+              f"(threshold {args.threshold:.0%}, baseline rev "
+              f"{baseline.get('rev', '?')})")
+    return 0

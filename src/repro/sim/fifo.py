@@ -30,6 +30,9 @@ class FifoSim:
         self.empty_stalls = 0
         #: attached by the machine when tracing is enabled
         self.trace = None
+        #: attached by the event scheduler: notified on every state
+        #: change so units parked on this FIFO can be re-armed
+        self.sched = None
 
     @property
     def size(self) -> int:
@@ -62,6 +65,8 @@ class FifoSim:
         if self.trace is not None:
             self.trace.emit(EventKind.FIFO_PUSH, self.decl.name,
                             (len(values), len(self.items)))
+        if self.sched is not None:
+            self.sched.fifo_event(self)
 
     def pop(self, count: int = 1) -> List:
         """Remove up to ``count`` words (may return fewer)."""
@@ -72,11 +77,15 @@ class FifoSim:
         if out and self.trace is not None:
             self.trace.emit(EventKind.FIFO_POP, self.decl.name,
                             (len(out), len(self.items)))
+        if out and self.sched is not None:
+            self.sched.fifo_event(self)
         return out
 
     def close(self) -> None:
         """Signal end-of-stream."""
         self.eos = True
+        if self.sched is not None:
+            self.sched.fifo_event(self)
 
     def reopen(self) -> None:
         """Reset for the next activation (FIFOs are reused per parent
@@ -85,6 +94,8 @@ class FifoSim:
             raise SimulationError(
                 f"reopening non-empty FIFO {self.decl.name!r}")
         self.eos = False
+        if self.sched is not None:
+            self.sched.fifo_event(self)
 
     def __repr__(self):
         return (f"FifoSim({self.decl.name}, {self.size}/{self.capacity}"

@@ -30,6 +30,7 @@ from repro.sim.counters import Batch, ChainEnumerator
 from repro.sim.datapath import LaneContext
 from repro.sim.dram_image import DramImage
 from repro.sim.fifo import FifoSim
+from repro.sim.scheduler import Park
 from repro.sim.scratchpad import MemoryState
 from repro.sim.stats import SimStats
 from repro.trace.events import EventKind, StallCause
@@ -69,6 +70,10 @@ class _LeafCommon(NodeSim):
         self.leaf_names = (name,)
         #: attached by the machine when tracing is enabled
         self.trace = None
+        #: attached by the event scheduler; None under the dense loop
+        self._sched = None
+        #: park descriptor the last tick produced (event scheduler only)
+        self._park = None
 
     @property
     def busy(self) -> bool:
@@ -96,6 +101,7 @@ class InnerComputeSim(_LeafCommon):
         self.fifos = fifos
         self._enum: Optional[ChainEnumerator] = None
         self._ctx_cur: Optional[LaneContext] = None
+        self._blocked_fifo: Optional[FifoSim] = None
         self._stall_until = 0
         self._drain_until = 0
         self._pending: Optional[Batch] = None
@@ -139,6 +145,11 @@ class InnerComputeSim(_LeafCommon):
                 trace.mark(self.name, StallCause.DRAIN)
             if cycle >= self._drain_until:
                 self._finish()
+            elif (self._sched is not None
+                    and self._drain_until > cycle + 1):
+                self._park = Park(
+                    until=self._drain_until,
+                    marks=((self.name, StallCause.DRAIN),))
             return
         if cycle < self._stall_until:
             # serialising a conflicted vector access: the unit is
@@ -146,6 +157,11 @@ class InnerComputeSim(_LeafCommon):
             self.stats.busy(self.name)
             if trace is not None:
                 trace.mark(self.name, StallCause.BANK_CONFLICT)
+            if (self._sched is not None
+                    and self._stall_until > cycle + 1):
+                self._park = Park(
+                    until=self._stall_until, busy_unit=self.name,
+                    marks=((self.name, StallCause.BANK_CONFLICT),))
             return
         batch = self._pending or self._enum.next_batch()
         self._pending = None
@@ -156,6 +172,13 @@ class InnerComputeSim(_LeafCommon):
             self.stats.busy(self.name)
             if trace is not None:
                 trace.mark(self.name, StallCause.DRAIN)
+            if (self._sched is not None
+                    and self._drain_until > cycle + 1):
+                # park through the drain immediately instead of
+                # rediscovering it one tick at a time
+                self._park = Park(
+                    until=self._drain_until,
+                    marks=((self.name, StallCause.DRAIN),))
             return
         extra = self._execute(batch)
         if extra is None:           # FIFO full: retry this batch
@@ -163,6 +186,13 @@ class InnerComputeSim(_LeafCommon):
             self.stats.fifo_stall_cycles += 1
             if trace is not None:
                 trace.mark(self.name, StallCause.FIFO_FULL)
+            if self._sched is not None:
+                fifo = self._blocked_fifo
+                self._park = Park(
+                    counters=("fifo_stall_cycles",),
+                    fifo_counters=((fifo, "full_stalls"),),
+                    marks=((self.name, StallCause.FIFO_FULL),),
+                    wake_fifos=(fifo.decl.name,))
             return
         # the issue cycle itself; conflict serialisation cycles charge
         # themselves one by one in the stall branch above
@@ -173,6 +203,13 @@ class InnerComputeSim(_LeafCommon):
             trace.emit(EventKind.ISSUE, self.name, (batch.lanes, extra))
         if extra:
             self._stall_until = cycle + 1 + extra
+            if self._sched is not None:
+                # the coming serialisation cycles are known now: park
+                # straight through them (each charges busy + conflict
+                # mark, exactly like the stall branch above)
+                self._park = Park(
+                    until=self._stall_until, busy_unit=self.name,
+                    marks=((self.name, StallCause.BANK_CONFLICT),))
 
     # -- body execution ---------------------------------------------------------------
     def _execute(self, batch: Batch) -> Optional[int]:
@@ -188,6 +225,7 @@ class InnerComputeSim(_LeafCommon):
                 fifo = self.fifos[stmt.fifo.name]
                 if not fifo.can_push(batch.lanes):
                     fifo.full_stalls += 1
+                    self._blocked_fifo = fifo
                     if self.trace is not None:
                         self.trace.emit(EventKind.FIFO_FULL,
                                         stmt.fifo.name, (batch.lanes,))
@@ -322,6 +360,28 @@ class _TransferCommon(_LeafCommon):
         self.streams = config.ags_for(name).streams
         self._outstanding = 0
 
+    # parks are immutable and constant per engine: build each variant
+    # once and reuse it (parking happens on most wait cycles)
+    @property
+    def _park_latency(self) -> Park:
+        park = self.__dict__.get("_park_latency_c")
+        if park is None:
+            park = Park(busy_unit=self.name,
+                        marks=((self.name, StallCause.DRAM_LATENCY),))
+            self.__dict__["_park_latency_c"] = park
+        return park
+
+    def _park_bandwidth(self, busy: bool) -> Park:
+        key = "_park_bw_busy" if busy else "_park_bw_idle"
+        park = self.__dict__.get(key)
+        if park is None:
+            park = Park(busy_unit=self.name if busy else None,
+                        counters=("dram_stall_cycles",),
+                        marks=((self.name, StallCause.DRAM_BANDWIDTH),),
+                        wake_dram_room=True)
+            self.__dict__[key] = park
+        return park
+
     def _issue(self, request: DramRequest, on_done) -> None:
         self._outstanding += 1
         if self.trace is not None:
@@ -331,6 +391,8 @@ class _TransferCommon(_LeafCommon):
         def _cb(req):
             self._outstanding -= 1
             on_done(req)
+            if self._sched is not None:
+                self._sched.node_event(self)
 
         self.dram.submit(request, _cb)
 
@@ -354,6 +416,17 @@ class _TransferCommon(_LeafCommon):
             cause = StallCause.DRAIN
         if self.trace is not None:
             self.trace.mark(self.name, cause)
+        if self._sched is not None and not issued:
+            # an unproductive cycle: this tick will repeat verbatim
+            # until DRAM queue room frees or a burst completes — park
+            # with exactly the per-cycle accounting performed above
+            if blocked:
+                self._park = self._park_bandwidth(
+                    bool(self._outstanding))
+            elif self._outstanding:
+                self._park = self._park_latency
+            # DRAIN (no work, nothing in flight) means the engine is
+            # about to complete in this same tick: never parked
 
 
 class TileLoadSim(_TransferCommon):
@@ -449,8 +522,14 @@ class TileLoadSim(_TransferCommon):
                                   count - burst_words,
                                   sram_flat + burst_words)
         self._account(issued, blocked)
-        if not self._spans and self._outstanding == 0:
-            self._active = False
+        if not self._spans:
+            if self._outstanding == 0:
+                self._active = False
+            elif issued and self._sched is not None:
+                # the span queue emptied this very cycle: every later
+                # tick is provably a pure DRAM-latency wait until a
+                # completion callback wakes us
+                self._park = self._park_latency
 
     def _on_burst(self, request: DramRequest) -> None:
         word_off, count, sram_flat = request.tag
@@ -526,8 +605,12 @@ class TileStoreSim(_TransferCommon):
                                   count - burst_words,
                                   sram_flat + burst_words)
         self._account(issued, blocked)
-        if not self._spans and self._outstanding == 0:
-            self._active = False
+        if not self._spans:
+            if self._outstanding == 0:
+                self._active = False
+            elif issued and self._sched is not None:
+                # all bursts in flight: pure latency wait from here on
+                self._park = self._park_latency
 
 
 class GatherSim(_TransferCommon):
@@ -602,8 +685,14 @@ class GatherSim(_TransferCommon):
             budget -= 1
             issued += 1
         self._account(issued, blocked)
-        if not self._queue and self._outstanding == 0 and not self._open:
-            self._active = False
+        if not self._queue:
+            if self._outstanding == 0 and not self._open:
+                self._active = False
+            elif issued and self._sched is not None:
+                # every address dispatched: pure latency wait from
+                # here on (open coalescer entries imply requests in
+                # flight, whose completions wake us)
+                self._park = self._park_latency
 
     def _on_burst(self, request: DramRequest) -> None:
         pendings = self._open.pop(request.tag, [])
@@ -689,8 +778,13 @@ class ScatterSim(_TransferCommon):
             budget -= 1
             issued += 1
         self._account(issued, blocked)
-        if not self._queue and self._outstanding == 0:
-            self._active = False
+        if not self._queue:
+            if self._outstanding == 0:
+                self._active = False
+            elif issued and self._sched is not None:
+                # every element dispatched: pure latency wait until
+                # the remaining write acknowledgements arrive
+                self._park = self._park_latency
 
 
 class StreamStoreSim(_TransferCommon):
@@ -749,6 +843,12 @@ class StreamStoreSim(_TransferCommon):
                 self.trace.mark(self.name, StallCause.FIFO_EMPTY)
         else:
             self._account(len(got) + (1 if flushed else 0), blocked)
+        if self._sched is not None and not got and not flushed:
+            # unproductive cycle: park, replicating exactly the
+            # accounting above (which also depends on the FIFO, so the
+            # generic _account park is replaced with one that re-arms
+            # on FIFO activity too)
+            self._park = self._make_park(starved, blocked)
         if (self.fifo.drained and not self._staging
                 and self._outstanding == 0):
             reg = self.mem.reg(self.leaf.count_reg)
@@ -757,3 +857,28 @@ class StreamStoreSim(_TransferCommon):
             else:
                 reg.write(self._written)
             self._active = False
+
+    def _make_park(self, starved: bool, blocked: bool) -> Park:
+        """Park descriptor mirroring this tick's stall accounting."""
+        counters = []
+        fifo_counters = []
+        busy_unit = None
+        if starved:
+            counters.append("fifo_empty_stall_cycles")
+            fifo_counters.append((self.fifo, "empty_stalls"))
+        if starved and not self._outstanding:
+            mark = StallCause.FIFO_EMPTY
+        elif blocked:
+            counters.append("dram_stall_cycles")
+            busy_unit = self.name if self._outstanding else None
+            mark = StallCause.DRAM_BANDWIDTH
+        elif self._outstanding:
+            busy_unit = self.name
+            mark = StallCause.DRAM_LATENCY
+        else:
+            mark = StallCause.DRAIN
+        return Park(busy_unit=busy_unit, counters=tuple(counters),
+                    fifo_counters=tuple(fifo_counters),
+                    marks=((self.name, mark),),
+                    wake_fifos=(self.fifo.decl.name,),
+                    wake_dram_room=blocked)

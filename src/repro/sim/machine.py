@@ -115,12 +115,16 @@ class Machine:
     def __init__(self, dhdl: DhdlProgram, config: FabricConfig,
                  dram: Optional[DramModel] = None,
                  watchdog: int = 50_000,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 scheduler: str = "event",
+                 max_cycles: int = 20_000_000):
         self.dhdl = dhdl
         self.config = config
         self.params = config.params
         self.stats = SimStats()
         self.watchdog = watchdog
+        self.scheduler = scheduler
+        self.max_cycles = max_cycles
         base = config.dram_base or assign_bases(dhdl.drams)
         self.image = DramImage(dhdl.drams, base)
         self.dram = dram or DramModel(queue_depth=self.params.dram.
@@ -135,6 +139,8 @@ class Machine:
         self._outers: List[OuterControllerSim] = []
         self.root = self._build(dhdl.root)
         self.cycle = 0
+        #: filled by run() in event mode (executed vs fast-forwarded)
+        self.scheduler_stats = None
         self._nbuf_by_name = {s.name: s.nbuf for s in dhdl.srams}
         for reg in dhdl.regs:
             self._nbuf_by_name[reg.name] = reg.nbuf
@@ -252,40 +258,26 @@ class Machine:
         return build_report(self.tracer, self.stats)
 
     # -- execution ---------------------------------------------------------------
-    def run(self, max_cycles: int = 20_000_000) -> SimStats:
-        """Run to completion; returns the statistics object."""
-        self.root.start({}, ())
-        trace = self.tracer
-        last_progress_key = None
-        last_progress_cycle = 0
-        while self.root.busy:
-            self.cycle += 1
-            if self.cycle > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles}")
-            if trace is not None:
-                trace.begin_cycle(self.cycle)
-            self.dram.tick()
-            self.dram.deliver()
-            for outer in self._outers:
-                outer.tick(self.cycle)
-            for leaf in self._leaves:
-                leaf.tick(self.cycle)
-            if self.cycle % 256 == 0:
-                for scratch in self.mem.scratchpads.values():
-                    scratch.retire_old()
-            key = self._progress_key()
-            if key != last_progress_key:
-                last_progress_key = key
-                last_progress_cycle = self.cycle
-                if trace is not None:
-                    trace.progress(self.cycle)
-            elif self.cycle - last_progress_cycle > self.watchdog:
-                self._raise_deadlock(last_progress_cycle)
-            if trace is not None:
-                trace.end_cycle()
-        self._epilogue()
-        return self.stats
+    def run(self, max_cycles: Optional[int] = None,
+            scheduler: Optional[str] = None) -> SimStats:
+        """Run to completion; returns the statistics object.
+
+        ``scheduler`` selects the cycle loop: ``"event"`` (the default)
+        parks provably blocked units and fast-forwards across all-parked
+        spans; ``"dense"`` is the reference tick-everything loop.  Both
+        are cycle-exact: identical SimStats and stall attribution.
+        """
+        from repro.sim.scheduler import EventScheduler, run_dense
+        mode = scheduler if scheduler is not None else self.scheduler
+        limit = max_cycles if max_cycles is not None else self.max_cycles
+        if mode == "dense":
+            return run_dense(self, limit)
+        if mode == "event":
+            sched = EventScheduler(self)
+            self.scheduler_stats = sched
+            return sched.run(limit)
+        raise SimulationError(
+            f"unknown scheduler {mode!r}; one of: event, dense")
 
     def _progress_key(self) -> Tuple:
         fifo_flow = sum(f.pushed + f.popped for f in self.fifos.values())

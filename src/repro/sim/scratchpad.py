@@ -183,6 +183,16 @@ class MemoryState:
             raise SimulationError(
                 f"scratchpad {sram.name!r} was never placed") from None
 
+    def retire_old(self) -> None:
+        """Periodic retirement sweep over every scratchpad.
+
+        The scheduler (dense or event-driven) calls this on every
+        256-cycle boundary — including boundaries crossed by a
+        fast-forward jump — to bound live N-buffer versions.
+        """
+        for scratch in self.scratchpads.values():
+            scratch.retire_old()
+
     def reg(self, reg: Reg) -> RegSim:
         """Register sim for a declaration."""
         try:

@@ -16,6 +16,13 @@ The report *must* reconcile: for every unit the cause counts sum to
 :class:`~repro.errors.SimulationError` otherwise — a failed
 reconciliation means an instrumentation hook double- or under-counted a
 cycle, which would silently corrupt every number downstream.
+
+Attribution is scheduler-independent.  Under the dense loop every unit
+marks its cause each cycle; under the event scheduler parked units have
+their park's marks replayed per visited cycle and fast-forwarded spans
+charged in bulk through ``Tracer.account_span``.  Both paths feed the
+same counters, so the reconciliation check above doubles as the
+cross-check that fast-forward jumps attributed every skipped cycle.
 """
 
 from __future__ import annotations

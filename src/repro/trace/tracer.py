@@ -50,6 +50,13 @@ class Tracer:
         """Fold this cycle's marks into counters; unmarked units are
         IDLE."""
 
+    def account_span(self, cause_of: Dict[str, "StallCause"],
+                     start_cycle: int, cycles: int) -> None:
+        """Bulk-attribute ``cycles`` consecutive cycles starting at
+        ``start_cycle`` during which every unit's cause is constant
+        (fast-forwarded spans); units absent from ``cause_of`` are
+        IDLE.  Equivalent to ``cycles`` begin/mark/end rounds."""
+
     # -- events --------------------------------------------------------------------
     def emit(self, kind: EventKind, unit: str, data: Tuple = ()) -> None:
         """Record one discrete event at the current cycle (sampled)."""
@@ -128,6 +135,17 @@ class RingTracer(Tracer):
                 self._last_cause[unit] = cause
                 self.timelines[unit].append((cycle, cause))
         marks.clear()
+
+    def account_span(self, cause_of, start_cycle, cycles):
+        idle = StallCause.IDLE
+        last = self._last_cause
+        for unit, counts in self.counts.items():
+            cause = cause_of.get(unit, idle)
+            counts[cause] = counts.get(cause, 0) + cycles
+            if cause is not last[unit]:
+                last[unit] = cause
+                self.timelines[unit].append((start_cycle, cause))
+        self.cycle = start_cycle + cycles - 1
 
     def current_marks(self) -> Dict[str, StallCause]:
         """This cycle's (possibly partial) classifications — used by the

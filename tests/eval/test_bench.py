@@ -1,0 +1,141 @@
+"""The ``repro bench`` perf harness: report shape, regression gate,
+synthetic workloads, and CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.eval import bench
+
+
+def _report(**totals):
+    base = {
+        "format": bench.FORMAT,
+        "rev": "abc1234",
+        "scale": "tiny",
+        "scheduler": "event",
+        "repeat": 1,
+        "benchmarks": [
+            {"name": "gemm", "compile_s": 0.01, "cycles": 1000,
+             "wall_s": 0.05, "cycles_per_sec": 20000,
+             "executed_cycles": 400, "fast_forwarded_cycles": 600},
+        ],
+        "totals": {"cycles": 1000, "wall_s": 0.05,
+                   "cycles_per_sec": 20000},
+    }
+    base["totals"].update(totals)
+    return base
+
+
+def test_compare_passes_against_itself():
+    report = _report()
+    assert bench.compare(report, report) == []
+
+
+def test_compare_flags_cycle_count_change_as_correctness():
+    current = _report()
+    baseline = _report()
+    baseline["benchmarks"][0]["cycles"] = 999
+    failures = bench.compare(current, baseline)
+    assert len(failures) == 1
+    assert "gemm" in failures[0]
+    assert "answer changed" in failures[0]
+
+
+def test_compare_flags_throughput_regression_beyond_threshold():
+    current = _report(cycles_per_sec=14000)   # 30% below baseline
+    baseline = _report(cycles_per_sec=20000)
+    failures = bench.compare(current, baseline, threshold=0.25)
+    assert len(failures) == 1
+    assert "throughput regression" in failures[0]
+
+
+def test_compare_tolerates_regression_within_threshold():
+    current = _report(cycles_per_sec=16000)   # 20% below baseline
+    baseline = _report(cycles_per_sec=20000)
+    assert bench.compare(current, baseline, threshold=0.25) == []
+
+
+def test_compare_ignores_benchmarks_missing_from_baseline():
+    current = _report()
+    baseline = _report()
+    baseline["benchmarks"] = []
+    assert bench.compare(current, baseline) == []
+
+
+def test_run_benchmarks_report_shape():
+    report = bench.run_benchmarks(scale="tiny", repeat=1,
+                                  apps=["innerproduct"])
+    assert report["format"] == bench.FORMAT
+    assert [r["name"] for r in report["benchmarks"]] == ["innerproduct"]
+    row = report["benchmarks"][0]
+    assert row["cycles"] > 0
+    assert row["cycles_per_sec"] > 0
+    assert (row["executed_cycles"] + row["fast_forwarded_cycles"]
+            == row["cycles"])
+    assert report["totals"]["cycles"] == row["cycles"]
+
+
+def test_run_benchmarks_compare_dense_reports_speedup():
+    report = bench.run_benchmarks(scale="tiny", repeat=1,
+                                  apps=["dram_rowconf"],
+                                  compare_dense=True)
+    row = report["benchmarks"][0]
+    assert row["cycles"] == row["dense"]["cycles"]
+    assert row["speedup_vs_dense"] > 0
+    assert row["compile_s"] == 0.0  # hand-built DHDL: no compiler run
+
+
+def test_synthetic_rowconf_is_row_miss_bound():
+    """The layout trick must actually produce row conflicts."""
+    from repro.sim import Machine
+    dhdl, config, check = bench.SYNTHETIC["dram_rowconf"]("tiny")
+    machine = Machine(dhdl, config)
+    stats = machine.run()
+    check(machine)
+    assert stats.dram["row_hits"] == 0
+    assert stats.dram["row_misses"] > 0
+
+
+def test_write_report_creates_directory(tmp_path):
+    out = tmp_path / "nested" / "dir"
+    path = bench.write_report(_report(), str(out))
+    with open(path) as fh:
+        assert json.load(fh)["rev"] == "abc1234"
+
+
+def test_cli_bench_quick_with_baseline(tmp_path, capsys):
+    from repro.cli import main
+    baseline = tmp_path / "baseline.json"
+    out = tmp_path / "out"
+    rc = main(["bench", "--quick", "--apps", "innerproduct",
+               "--out", str(out)])
+    assert rc == 0
+    report_path = next(out.glob("BENCH_*.json"))
+    baseline.write_text(report_path.read_text())
+    rc = main(["bench", "--quick", "--apps", "innerproduct",
+               "--out", str(out), "--baseline", str(baseline)])
+    assert rc == 0
+    assert "baseline check passed" in capsys.readouterr().out
+
+
+def test_cli_bench_fails_on_cycle_change(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "out"
+    rc = main(["bench", "--quick", "--apps", "innerproduct",
+               "--out", str(out)])
+    assert rc == 0
+    report = json.loads(next(out.glob("BENCH_*.json")).read_text())
+    report["benchmarks"][0]["cycles"] += 1
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(report))
+    rc = main(["bench", "--quick", "--apps", "innerproduct",
+               "--out", str(out), "--baseline", str(baseline)])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().err
+
+
+def test_render_lists_every_benchmark():
+    text = bench.render(_report())
+    assert "gemm" in text
+    assert "total" in text
