@@ -1,0 +1,294 @@
+"""The serializable compile artifact: a frozen, runnable bitstream.
+
+A :class:`Bitstream` bundles everything the simulator needs to execute
+one compiled application — the DHDL program (controller tree, memory
+declarations, DRAM input data) and the placed-and-routed
+:class:`~repro.bitstream.config.FabricConfig` — detached from every
+compiler-internal object (no ``Fabric``, no pattern ``Program``).
+
+Serialization is *canonical*: dict keys are sorted and separators fixed,
+so the same compilation always produces the same bytes regardless of
+process, platform, or hash randomization.  Two hashes follow from that:
+
+* :func:`compile_key` — the cache address, computed from the *inputs* to
+  compilation (schema version, app name, dataset scale, architecture
+  parameters, compiler options).  Knowable without compiling.
+* :attr:`Bitstream.content_hash` — sha256 of the canonical artifact
+  bytes, computed from the *output*.  Golden tests pin these to catch
+  accidental compiler nondeterminism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.arch.params import (DEFAULT, DramParams, PcuParams,
+                               PlasticineParams, PmuParams)
+from repro.arch.requirements import (DesignRequirements, VirtualPcuReq,
+                                     VirtualPmuReq)
+from repro.bitstream.config import (AgAssignment, FabricConfig, LeafTiming,
+                                    MemoryPlacement)
+from repro.dhdl.ir import DhdlProgram
+from repro.dhdl.serialize import program_from_dict, program_to_dict
+from repro.errors import ConfigError
+
+#: Bump whenever the serialized layout changes; the cache segregates
+#: artifacts by schema so stale entries are never misread.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(data: dict) -> bytes:
+    """The one true byte encoding of an artifact dict."""
+    return json.dumps(data, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Compile options (part of the cache key)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """The compiler knobs that shape an artifact (defaults match
+    :func:`repro.compiler.driver.compile_program`)."""
+
+    tile_words: int = 512
+    whole_budget: int = 16384
+    ags_per_transfer: int = 2
+    pmu_fraction: float = 0.5
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "CompileOptions":
+        return CompileOptions(**data)
+
+
+# ---------------------------------------------------------------------------
+# Params / config (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def params_to_dict(params: PlasticineParams) -> dict:
+    """Architecture parameters as a plain nested dict."""
+    return asdict(params)
+
+
+def params_from_dict(data: dict) -> PlasticineParams:
+    """Rebuild :class:`PlasticineParams` from :func:`params_to_dict`."""
+    data = dict(data)
+    return PlasticineParams(
+        pcu=PcuParams(**data.pop("pcu")),
+        pmu=PmuParams(**data.pop("pmu")),
+        dram=DramParams(**data.pop("dram")),
+        **data)
+
+
+def _requirements_to_dict(req: Optional[DesignRequirements]
+                          ) -> Optional[dict]:
+    if req is None:
+        return None
+    return {"name": req.name,
+            "pcus": [asdict(r) for r in req.pcus],
+            "pmus": [asdict(r) for r in req.pmus]}
+
+
+def _requirements_from_dict(data: Optional[dict]
+                            ) -> Optional[DesignRequirements]:
+    if data is None:
+        return None
+    return DesignRequirements(
+        data["name"],
+        pcus=[VirtualPcuReq(**r) for r in data["pcus"]],
+        pmus=[VirtualPmuReq(**r) for r in data["pmus"]])
+
+
+def config_to_dict(config: FabricConfig) -> dict:
+    """Serialize a :class:`FabricConfig` to a JSON-compatible dict."""
+    return {
+        "params": params_to_dict(config.params),
+        "leaf_timing": {name: asdict(t)
+                        for name, t in config.leaf_timing.items()},
+        "ag_assign": {name: list(a.ag_ids)
+                      for name, a in config.ag_assign.items()},
+        "sram_place": {name: [list(site) for site in p.pmu_sites]
+                       for name, p in config.sram_place.items()},
+        "dram_base": dict(config.dram_base),
+        "requirements": _requirements_to_dict(config.requirements),
+        "pcus_used": config.pcus_used,
+        "pmus_used": config.pmus_used,
+        "ags_used": config.ags_used,
+        "switches_used": config.switches_used,
+        "fus_used": config.fus_used,
+        "registers_used": config.registers_used,
+        "coalesce_entries": config.coalesce_entries,
+        "banks_override": config.banks_override,
+    }
+
+
+def config_from_dict(data: dict) -> FabricConfig:
+    """Rebuild a :class:`FabricConfig` from :func:`config_to_dict`."""
+    return FabricConfig(
+        params=params_from_dict(data["params"]),
+        leaf_timing={name: LeafTiming(**t)
+                     for name, t in data["leaf_timing"].items()},
+        ag_assign={name: AgAssignment(tuple(ids))
+                   for name, ids in data["ag_assign"].items()},
+        sram_place={name: MemoryPlacement(
+                        tuple(tuple(site) for site in sites))
+                    for name, sites in data["sram_place"].items()},
+        dram_base=dict(data["dram_base"]),
+        requirements=_requirements_from_dict(data["requirements"]),
+        pcus_used=data["pcus_used"],
+        pmus_used=data["pmus_used"],
+        ags_used=data["ags_used"],
+        switches_used=data["switches_used"],
+        fus_used=data["fus_used"],
+        registers_used=data["registers_used"],
+        coalesce_entries=data["coalesce_entries"],
+        banks_override=data["banks_override"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache key
+# ---------------------------------------------------------------------------
+
+
+def compile_key(app: str, scale: str,
+                params: PlasticineParams = DEFAULT,
+                options: Optional[CompileOptions] = None) -> str:
+    """The content address of a compilation *request*.
+
+    Everything that can change the emitted artifact participates:
+    schema version, app name, dataset scale, the full architecture
+    parameter set, and the compiler options.
+    """
+    options = options or CompileOptions()
+    blob = canonical_json({
+        "schema": SCHEMA_VERSION,
+        "app": app,
+        "scale": scale,
+        "params": params_to_dict(params),
+        "options": options.to_dict(),
+    })
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The artifact
+# ---------------------------------------------------------------------------
+
+
+class Bitstream:
+    """One compiled application, frozen and runnable.
+
+    Holds the live DHDL program and fabric configuration; converts to
+    and from a canonical dict (and JSON file) without loss.  Construct
+    via :func:`repro.compiler.artifact.compile_to_bitstream` or
+    :meth:`load`.
+    """
+
+    def __init__(self, app: str, scale: str, dhdl: DhdlProgram,
+                 config: FabricConfig,
+                 options: Optional[CompileOptions] = None,
+                 schema: int = SCHEMA_VERSION):
+        self.app = app
+        self.scale = scale
+        self.dhdl = dhdl
+        self.config = config
+        self.options = options or CompileOptions()
+        self.schema = schema
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "app": self.app,
+            "scale": self.scale,
+            "options": self.options.to_dict(),
+            "program": program_to_dict(self.dhdl),
+            "config": config_to_dict(self.config),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Bitstream":
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ConfigError(
+                f"artifact schema {schema!r} != supported "
+                f"{SCHEMA_VERSION} (recompile the app)")
+        return Bitstream(
+            app=data["app"], scale=data["scale"],
+            dhdl=program_from_dict(data["program"]),
+            config=config_from_dict(data["config"]),
+            options=CompileOptions.from_dict(data["options"]),
+            schema=schema)
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialized form (deterministic across processes)."""
+        return canonical_json(self.to_dict())
+
+    @property
+    def content_hash(self) -> str:
+        """sha256 of the canonical bytes — the artifact's identity."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    @property
+    def key(self) -> str:
+        """The cache address of this artifact's compilation request."""
+        return compile_key(self.app, self.scale, self.config.params,
+                           self.options)
+
+    # -- files --------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the artifact to ``path`` (canonical JSON)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(self.to_bytes())
+        tmp.replace(path)
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Bitstream":
+        """Read an artifact previously written by :meth:`save`."""
+        return Bitstream.from_dict(
+            json.loads(Path(path).read_bytes().decode("utf-8")))
+
+    # -- execution ----------------------------------------------------------------
+    def machine(self, **kwargs) -> Any:
+        """A fresh simulator instance for this artifact.
+
+        Keyword arguments pass through to
+        :class:`~repro.sim.machine.Machine` (``tracer``, ``scheduler``,
+        ``watchdog``...).  Imported lazily so the compiler/cache side
+        never loads the simulator package.
+        """
+        from repro.sim.machine import Machine
+        return Machine(self.dhdl, self.config, **kwargs)
+
+    def summary(self) -> Dict[str, Any]:
+        """Small human-facing description (CLI ``repro compile``)."""
+        return {
+            "app": self.app,
+            "scale": self.scale,
+            "schema": self.schema,
+            "key": self.key,
+            "content_hash": self.content_hash,
+            "leaves": len(self.config.leaf_timing),
+            "srams": len(self.dhdl.srams),
+            "pcus_used": self.config.pcus_used,
+            "pmus_used": self.config.pmus_used,
+            "bytes": len(self.to_bytes()),
+        }
+
+    def __repr__(self):
+        return (f"Bitstream({self.app!r}, scale={self.scale!r}, "
+                f"hash={self.content_hash[:12]})")

@@ -1,0 +1,118 @@
+"""Content-addressed on-disk cache of compiled bitstreams.
+
+Layout (under the cache root, default ``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``):
+
+    <root>/bitstreams-v<SCHEMA_VERSION>/<key[:2]>/<key>.json
+
+where ``key`` is :func:`~repro.bitstream.artifact.compile_key` — a hash
+over (schema, app, scale, architecture params, compiler options).  The
+schema version is baked into the directory name, so bumping it orphans
+(never misreads) old entries; a corrupt or truncated file is treated as
+a miss and overwritten on the next put.
+
+Writes are atomic (temp file + rename), so concurrent workers compiling
+the same app race benignly: last writer wins with identical bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.bitstream.artifact import SCHEMA_VERSION, Bitstream
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls."""
+        return self.hits + self.misses
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another tally (e.g. from a worker process) into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+
+    def summary(self) -> str:
+        """One-line report, e.g. ``3 hits, 1 miss (1 compiled)``."""
+        plural = "" if self.misses == 1 else "es"
+        return (f"{self.hits} hit{'' if self.hits == 1 else 's'}, "
+                f"{self.misses} miss{plural} ({self.misses} compiled)")
+
+
+class CompileCache:
+    """A content-addressed store of :class:`Bitstream` artifacts."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.dir = self.root / f"bitstreams-v{SCHEMA_VERSION}"
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Where an artifact with this compile key lives."""
+        return self.dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Bitstream]:
+        """The cached artifact for ``key``, or None (counted as a miss).
+
+        Unreadable entries (truncated writes, schema drift inside a
+        versioned directory) are misses, not errors.
+        """
+        path = self.path_for(key)
+        try:
+            artifact = Bitstream.load(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            try:
+                path.unlink()  # corrupt entry: make room for a re-put
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return artifact
+
+    def put(self, artifact: Bitstream) -> Path:
+        """Store an artifact under its own compile key (atomic)."""
+        path = self.path_for(artifact.key)
+        artifact.save(path)
+        self.stats.stores += 1
+        return path
+
+    def entries(self) -> int:
+        """Number of artifacts currently stored."""
+        if not self.dir.is_dir():
+            return 0
+        return sum(1 for _ in self.dir.glob("*/*.json"))
+
+    def __repr__(self):
+        return f"CompileCache({str(self.dir)!r})"
+
+
+def open_cache(cache_dir: Optional[Union[str, Path]] = None,
+               enabled: bool = True) -> Optional[CompileCache]:
+    """CLI helper: a cache instance, or None when caching is disabled."""
+    if not enabled:
+        return None
+    return CompileCache(cache_dir)

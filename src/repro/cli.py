@@ -6,21 +6,29 @@ Commands
     Chip summary: parameters, area breakdown, peak numbers.
 ``list``
     The Table 4 benchmark registry.
-``run APP [--scale SCALE] [--floorplan] [--ir] [--trace[=PATH]]``
-    Compile, cycle-simulate and validate one benchmark.  With
-    ``--trace`` the simulator records per-cycle stall attribution and
-    prints the breakdown plus a utilization waterfall; give a PATH to
-    also write a Chrome/Perfetto trace JSON.  ``--scheduler``
-    selects the cycle loop (event-driven wakeup scheduler by default,
-    ``dense`` for the tick-everything reference), ``--max-cycles`` and
-    ``--watchdog`` bound runaway and deadlocked simulations.
-``bench [--quick] [--baseline PATH]``
+``compile APP [--scale SCALE] [--out PATH]``
+    Compile one benchmark to a frozen bitstream artifact (through the
+    on-disk compile cache unless ``--no-cache``) and print its content
+    hash; with ``--out`` also write the artifact JSON to a chosen path.
+``run [APP] [--artifact PATH] [--scale SCALE] [--floorplan] [--ir]``
+    Compile, cycle-simulate and validate one benchmark — or, with
+    ``--artifact``, skip the compiler entirely and simulate a
+    previously saved bitstream.  With ``--trace`` the simulator records
+    per-cycle stall attribution and prints the breakdown plus a
+    utilization waterfall; give a PATH to also write a Chrome/Perfetto
+    trace JSON.  ``--scheduler`` selects the cycle loop (event-driven
+    wakeup scheduler by default, ``dense`` for the tick-everything
+    reference), ``--max-cycles`` and ``--watchdog`` bound runaway and
+    deadlocked simulations.
+``bench [--quick] [--baseline PATH] [--jobs N]``
     Simulator performance harness: run the benchmark registry, report
     wall-clock seconds / simulated cycles / cycles-per-second per
     benchmark, and write ``BENCH_<rev>.json``.  With ``--baseline``
     compare against a committed report and fail on regression.
 ``table5 | table6 | table7``
-    Regenerate a paper table.
+    Regenerate a paper table.  ``--jobs N`` evaluates benchmarks on a
+    process pool; compiles go through the artifact cache (``--cache-dir``
+    to relocate it, ``--no-cache`` to disable).
 ``figure7 PARAM``
     Run one Figure 7 sweep (stages, regs_per_stage, scalar_in,
     scalar_out, vector_in, vector_out).
@@ -57,13 +65,103 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cache_from(args):
+    """The compile cache selected by --cache-dir / --no-cache."""
+    from repro.bitstream.cache import open_cache
+    return open_cache(getattr(args, "cache_dir", None),
+                      enabled=not getattr(args, "no_cache", False))
+
+
+def _cmd_compile(args) -> int:
+    from repro.compiler.artifact import compile_app_cached
+
+    started = time.time()
+    artifact, outcome = compile_app_cached(args.app, args.scale,
+                                           cache=_cache_from(args))
+    wall_ms = (time.time() - started) * 1e3
+    summary = artifact.summary()
+    source = {"hit": "loaded from cache", "miss": "compiled and cached",
+              "off": "compiled (cache disabled)"}[outcome]
+    print(f"{args.app} ({args.scale}): {source} in {wall_ms:.0f} ms")
+    print(f"  key:          {summary['key']}")
+    print(f"  content hash: {summary['content_hash']}")
+    print(f"  artifact:     {summary['bytes']} bytes, "
+          f"{summary['leaves']} leaves, {summary['srams']} srams, "
+          f"{summary['pcus_used']} PCUs / {summary['pmus_used']} PMUs")
+    if args.out:
+        path = artifact.save(args.out)
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_run_artifact(args) -> int:
+    from repro.apps import get_app
+    from repro.bitstream import Bitstream
+
+    artifact = Bitstream.load(args.artifact)
+    if args.floorplan:
+        print("--floorplan needs compiler internals; it is unavailable "
+              "when running a saved artifact", file=sys.stderr)
+        return 2
+    if args.ir:
+        from repro.dhdl import format_program
+        print(format_program(artifact.dhdl))
+        print()
+    tracer = None
+    if args.trace is not None:
+        from repro.trace import RingTracer
+        tracer = RingTracer(sample=args.trace_sample)
+    started = time.time()
+    machine = artifact.machine(tracer=tracer, scheduler=args.scheduler,
+                               max_cycles=args.max_cycles,
+                               watchdog=args.watchdog)
+    stats = machine.run()
+    sim_s = time.time() - started
+    try:
+        app = get_app(artifact.app)
+    except KeyError:
+        app = None
+    verdict = "simulated (no registry app to validate against)"
+    if app is not None:
+        expected = app.expected(app.build(artifact.scale))
+        results = {name: machine.result(name) for name in expected}
+        app.check(artifact.dhdl, results, expected)
+        verdict = "VALIDATED against the reference executor"
+    util = artifact.config.utilization()
+    print(f"{artifact.app} ({artifact.scale}) from {args.artifact}: "
+          f"{verdict}")
+    print(f"  cycles: {stats.cycles}  (simulate {sim_s * 1e3:.0f} ms, "
+          f"hash {artifact.content_hash[:12]})")
+    print(f"  fabric: {artifact.config.pcus_used} PCUs "
+          f"({100 * util['pcu']:.1f}%), "
+          f"{artifact.config.pmus_used} PMUs "
+          f"({100 * util['pmu']:.1f}%), "
+          f"{artifact.config.ags_used} AGs")
+    if tracer is not None:
+        from repro.trace import render_waterfall, write_chrome_trace
+        report = machine.trace_report()
+        print()
+        print(report.render())
+        print()
+        print(render_waterfall(tracer, report))
+        if args.trace:
+            write_chrome_trace(args.trace, tracer, report)
+            print(f"\nwrote Chrome trace to {args.trace}")
+    return 0
+
+
 def _cmd_run(args) -> int:
-    import numpy as np
     from repro.apps import get_app
     from repro.compiler import compile_program
     from repro.dhdl import format_program
     from repro.sim import Machine
 
+    if args.artifact:
+        return _cmd_run_artifact(args)
+    if not args.app:
+        print("repro run: give an APP name or --artifact PATH",
+              file=sys.stderr)
+        return 2
     app = get_app(args.app)
     program = app.build(args.scale)
     expected = app.expected(program)
@@ -160,27 +258,43 @@ def render_floorplan(compiled) -> str:
 
 def _cmd_table(args) -> int:
     from repro.eval import table5, table6, table7
+    from repro.eval.driver import CacheTally
     if args.command == "table5":
         print(table5.render(table5.generate()))
-    elif args.command == "table6":
-        print(table6.render(table6.generate(scale=args.scale)))
+        return 0
+    cache = _cache_from(args)
+    tally = CacheTally()
+    if args.command == "table6":
+        print(table6.render(table6.generate(
+            scale=args.scale, jobs=args.jobs, cache=cache,
+            tally=tally)))
         print()
-        print(table6.render_control(
-            table6.control_overhead(scale="tiny")))
+        print(table6.render_control(table6.control_overhead(
+            scale="tiny", jobs=args.jobs, cache=cache, tally=tally)))
     else:
-        rows = table7.generate(scale=args.scale, validate=False)
+        rows = table7.generate(scale=args.scale, validate=False,
+                               jobs=args.jobs, cache=cache, tally=tally)
         print(table7.render(rows))
+    if tally.lookups:
+        print(tally.summary())
     return 0
 
 
 def _cmd_figure7(args) -> int:
     from repro.eval import figure7
+    from repro.eval.driver import CacheTally
     for key, (param, values) in figure7.SWEEPS.items():
         if param == args.param:
-            curves = figure7.sweep(param, values, scale=args.scale)
+            tally = CacheTally()
+            curves = figure7.sweep(param, values, scale=args.scale,
+                                   jobs=args.jobs,
+                                   cache=_cache_from(args),
+                                   tally=tally)
             print(figure7.render(param, curves))
             print(f"\noverhead-minimising value: "
                   f"{figure7.best_value(curves)}")
+            if tally.lookups:
+                print(tally.summary())
             return 0
     print(f"unknown parameter {args.param!r}; one of: "
           f"{[p for p, _ in figure7.SWEEPS.values()]}",
@@ -201,11 +315,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Plasticine (ISCA 2017) reproduction toolkit")
+    def add_cache_args(cmd, jobs: bool = True):
+        if jobs:
+            cmd.add_argument("--jobs", type=_positive_int, default=1,
+                             metavar="N",
+                             help="evaluate benchmarks on N worker "
+                                  "processes (results are identical to "
+                                  "--jobs=1)")
+        cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="compile-cache directory (default "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="always compile; never read or write the "
+                              "artifact cache")
+
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="chip summary")
     sub.add_parser("list", help="benchmark registry")
+    comp = sub.add_parser(
+        "compile", help="compile one benchmark to a bitstream artifact")
+    comp.add_argument("app")
+    comp.add_argument("--scale", default="small",
+                      choices=("tiny", "small"))
+    comp.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the artifact JSON here")
+    add_cache_args(comp, jobs=False)
     run = sub.add_parser("run", help="compile+simulate one benchmark")
-    run.add_argument("app")
+    run.add_argument("app", nargs="?", default=None)
+    run.add_argument("--artifact", default=None, metavar="PATH",
+                     help="simulate a saved bitstream artifact instead "
+                          "of compiling")
     run.add_argument("--scale", default="small",
                      choices=("tiny", "small"))
     run.add_argument("--floorplan", action="store_true")
@@ -256,14 +395,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="F",
                        help="allowed fractional cycles/sec regression "
                             "vs the baseline (default 0.25)")
+    bench.add_argument("--jobs", type=_positive_int, default=1,
+                       metavar="N",
+                       help="time benchmarks on N worker processes "
+                            "(cycles identical; wall times then share "
+                            "cores)")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="opt-in compile cache (off by default so "
+                            "compile_s stays meaningful)")
     for name in ("table5", "table6", "table7"):
         t = sub.add_parser(name, help=f"regenerate {name}")
         t.add_argument("--scale", default="small",
                        choices=("tiny", "small"))
+        if name != "table5":
+            add_cache_args(t)
     fig = sub.add_parser("figure7", help="run one Figure 7 sweep")
     fig.add_argument("param")
     fig.add_argument("--scale", default="small",
                      choices=("tiny", "small"))
+    add_cache_args(fig)
     return parser
 
 
@@ -274,6 +424,8 @@ def main(argv=None) -> int:
         return _cmd_info(args)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "bench":

@@ -1,0 +1,70 @@
+"""Compile an application straight to a frozen :class:`Bitstream`.
+
+This is the module that ties the compiler to the artifact layer: it runs
+:func:`~repro.compiler.driver.compile_program`, freezes the DRAM layout
+into the configuration, and discards every compiler-internal object
+(``Fabric``, the pattern ``Program``) so what remains is exactly the
+serializable compiler->simulator contract.  The cached variant consults
+a :class:`~repro.bitstream.cache.CompileCache` first and reports whether
+the result was a hit, a miss, or uncached.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.bitstream.artifact import Bitstream, CompileOptions, compile_key
+from repro.bitstream.cache import CompileCache
+from repro.compiler.driver import compile_program
+from repro.dhdl.analysis import assign_bases
+from repro.patterns.program import Program
+
+
+def freeze_program(program: Program, app: str, scale: str,
+                   params: PlasticineParams = DEFAULT,
+                   options: Optional[CompileOptions] = None) -> Bitstream:
+    """Compile an already-built pattern program into an artifact."""
+    options = options or CompileOptions()
+    compiled = compile_program(
+        program, params=params,
+        tile_words=options.tile_words,
+        whole_budget=options.whole_budget,
+        ags_per_transfer=options.ags_per_transfer,
+        pmu_fraction=options.pmu_fraction)
+    if not compiled.config.dram_base:
+        compiled.config.dram_base = assign_bases(compiled.dhdl.drams)
+    return Bitstream(app, scale, compiled.dhdl, compiled.config, options)
+
+
+def compile_to_bitstream(app: str, scale: str = "small",
+                         params: PlasticineParams = DEFAULT,
+                         options: Optional[CompileOptions] = None
+                         ) -> Bitstream:
+    """Build a registry app at ``scale`` and compile it to an artifact."""
+    from repro.apps.registry import get_app  # lazy: apps sit above us
+    program = get_app(app).build(scale)
+    return freeze_program(program, app, scale, params=params,
+                          options=options)
+
+
+def compile_app_cached(app: str, scale: str = "small",
+                       params: PlasticineParams = DEFAULT,
+                       options: Optional[CompileOptions] = None,
+                       cache: Optional[CompileCache] = None
+                       ) -> Tuple[Bitstream, str]:
+    """Compile through the cache; returns ``(artifact, outcome)``.
+
+    ``outcome`` is ``"hit"`` (loaded from disk), ``"miss"`` (compiled
+    and stored), or ``"off"`` (no cache supplied).
+    """
+    options = options or CompileOptions()
+    if cache is None:
+        return (compile_to_bitstream(app, scale, params, options), "off")
+    key = compile_key(app, scale, params, options)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached, "hit"
+    artifact = compile_to_bitstream(app, scale, params, options)
+    cache.put(artifact)
+    return artifact, "miss"

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.dhdl.analysis import mem_reads as _mem_reads
+from repro.dhdl.analysis import mem_writes as _mem_writes
 from repro.dhdl.control import Scheme
 from repro.dhdl.ir import DhdlProgram, OuterController
 from repro.dhdl.memory import Sram
-from repro.sim.machine import _mem_reads, _mem_writes
 
 
 def _stage_positions(ctrl: OuterController) -> List[int]:

@@ -7,7 +7,7 @@
 3. partition virtual units into physical PCU chains (cost metric);
 4. place units on the checkerboard and route producer->consumer nets;
 5. allocate address generators to transfers;
-6. emit the :class:`~repro.sim.config.FabricConfig` ("bitstream") plus
+6. emit the :class:`~repro.bitstream.config.FabricConfig` ("bitstream") plus
    the design's virtual requirements (for Table 6 / Figure 7).
 """
 
@@ -18,20 +18,20 @@ from typing import Dict, List, Optional
 
 from repro.arch.params import DEFAULT, PlasticineParams
 from repro.arch.requirements import DesignRequirements
+from repro.bitstream.config import (AgAssignment, FabricConfig, LeafTiming,
+                                    MemoryPlacement)
 from repro.compiler.lowering import Lowerer
 from repro.compiler.partition import (chip_fits, feasible, partition_pcu,
                                       partition_pmu, pcu_requirement,
                                       pmu_requirement)
 from repro.compiler.place_route import Fabric
 from repro.compiler.scheduling import schedule
+from repro.dhdl.analysis import mem_writes
 from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
                            OuterController, Scatter, StreamStore, TileLoad,
                            TileStore)
 from repro.errors import MappingError
 from repro.patterns.program import Program
-from repro.sim.config import (AgAssignment, FabricConfig, LeafTiming,
-                              MemoryPlacement)
-from repro.sim.machine import _mem_reads, _mem_writes
 
 
 @dataclass
@@ -179,15 +179,18 @@ def _route_dataflow(dhdl: DhdlProgram, fabric: Fabric,
     for leaf in dhdl.leaves():
         if isinstance(leaf, InnerCompute) and leaf.address_class:
             continue
-        for name in _mem_writes(leaf):
+        for name in sorted(mem_writes(leaf)):
             if name in reg_names and leaf.name in fabric.placed:
                 reg_producer.setdefault(name, leaf.name)
 
+    # routing allocates switch-link capacity greedily, so the iteration
+    # order below is part of the compiled artifact: keep it sorted (set
+    # order varies with hash randomization across processes)
     for leaf in dhdl.leaves():
         if not isinstance(leaf, InnerCompute) or leaf.address_class:
             continue
         hops_in = []
-        for mem_name in {m.name for m in leaf.memories_read()}:
+        for mem_name in sorted({m.name for m in leaf.memories_read()}):
             if mem_name in fabric.placed:
                 net = fabric.route(mem_name, leaf.name, "vector")
                 hops_in.append(net.hops)
@@ -195,7 +198,7 @@ def _route_dataflow(dhdl: DhdlProgram, fabric: Fabric,
                 fabric.route(reg_producer[mem_name], leaf.name,
                              "scalar")
         hops_out = []
-        for name in _mem_writes(leaf):
+        for name in sorted(mem_writes(leaf)):
             if name in fabric.placed:
                 net = fabric.route(leaf.name, name, "vector")
                 hops_out.append(net.hops)

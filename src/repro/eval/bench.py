@@ -106,84 +106,121 @@ def git_rev(default: str = "local") -> str:
     return rev if out.returncode == 0 and rev else default
 
 
+def _time_benchmark(name, dhdl, config, compile_s, check,
+                    scheduler: str, repeat: int,
+                    compare_dense: bool) -> Dict:
+    """Time one prepared (dhdl, config) pair under the scheduler(s)."""
+    from repro.sim import Machine
+
+    row: Dict = {"name": name, "compile_s": round(compile_s, 6)}
+    for mode in ([scheduler, "dense"] if compare_dense
+                 else [scheduler]):
+        best_s = None
+        for _ in range(max(1, repeat)):
+            machine = Machine(dhdl, config, scheduler=mode)
+            t0 = time.perf_counter()
+            stats = machine.run()
+            wall = time.perf_counter() - t0
+            if best_s is None or wall < best_s:
+                best_s = wall
+                best = machine, stats
+        machine, stats = best
+        if check is not None:
+            check(machine)
+        entry = {
+            "cycles": stats.cycles,
+            "wall_s": round(best_s, 6),
+            "cycles_per_sec": round(stats.cycles / best_s)
+            if best_s > 0 else 0,
+        }
+        sched = machine.scheduler_stats
+        if sched is not None:
+            entry["executed_cycles"] = sched.executed_cycles
+            entry["fast_forwarded_cycles"] = \
+                sched.fast_forwarded_cycles
+        if mode == scheduler:
+            row.update(entry)
+        else:
+            row["dense"] = entry
+    if compare_dense and scheduler != "dense":
+        dense_s = row["dense"]["wall_s"]
+        row["speedup_vs_dense"] = round(
+            dense_s / row["wall_s"], 3) if row["wall_s"] > 0 else 0.0
+    return row
+
+
+def _bench_worker(payload) -> tuple:
+    """Pool worker: prepare (compile or hand-build) and time one
+    benchmark; returns ``(row, cache_outcome)``."""
+    from repro.eval.driver import CompileSpec, obtain, worker_cache
+
+    kind, name, scale, scheduler, repeat, compare_dense, cache_dir = \
+        payload
+    if kind == "synthetic":
+        dhdl, config, check = SYNTHETIC[name](scale)
+        row = _time_benchmark(name, dhdl, config, 0.0, check,
+                              scheduler, repeat, compare_dense)
+        return row, "off"
+    cache = worker_cache(cache_dir)
+    t0 = time.perf_counter()
+    artifact, outcome = obtain(CompileSpec(name, scale), cache)
+    compile_s = time.perf_counter() - t0
+    row = _time_benchmark(name, artifact.dhdl, artifact.config,
+                          compile_s, None, scheduler, repeat,
+                          compare_dense)
+    return row, outcome
+
+
 def run_benchmarks(scale: str = "small", scheduler: str = "event",
                    repeat: int = 3,
                    apps: Optional[List[str]] = None,
-                   compare_dense: bool = False) -> dict:
-    """Run the registry under one scheduler and collect timings."""
-    from repro.apps.registry import ALL_APPS, get_app
-    from repro.compiler import compile_program
-    from repro.sim import Machine
+                   compare_dense: bool = False,
+                   jobs: int = 1, cache=None, tally=None) -> dict:
+    """Run the registry under one scheduler and collect timings.
+
+    ``jobs > 1`` times benchmarks in parallel worker processes — useful
+    for quick sweeps, but wall-clock numbers then share cores, so the
+    CI gate keeps ``jobs=1``.  The report totals split wall time into
+    ``compile_s`` (artifact preparation, near-zero on cache hits) and
+    ``simulate_s`` (the gated ``Machine.run`` time).
+    """
+    from repro.apps.registry import ALL_APPS
+    from repro.eval.driver import cache_payload, map_tasks
 
     if apps:
-        selected = [get_app(name) for name in apps
-                    if name not in SYNTHETIC]
+        selected = [name for name in apps if name not in SYNTHETIC]
         synthetic = [name for name in apps if name in SYNTHETIC]
     else:
-        selected = list(ALL_APPS)
+        selected = [app.name for app in ALL_APPS]
         synthetic = list(SYNTHETIC)
-    worklist = []
-    for app in selected:
-        program = app.build(scale)
-        t0 = time.perf_counter()
-        compiled = compile_program(program)
-        compile_s = time.perf_counter() - t0
-        worklist.append((app.name, compiled.dhdl, compiled.config,
-                         compile_s, None))
-    for name in synthetic:
-        dhdl, config, check = SYNTHETIC[name](scale)
-        worklist.append((name, dhdl, config, 0.0, check))
+    cache_dir = cache_payload(cache)
+    payloads = [("app", name, scale, scheduler, repeat, compare_dense,
+                 cache_dir) for name in selected]
+    payloads += [("synthetic", name, scale, scheduler, repeat,
+                  compare_dense, None) for name in synthetic]
     rows = []
-    for name, dhdl, config, compile_s, check in worklist:
-        row: Dict = {"name": name, "compile_s": round(compile_s, 6)}
-        for mode in ([scheduler, "dense"] if compare_dense
-                     else [scheduler]):
-            best_s = None
-            for _ in range(max(1, repeat)):
-                machine = Machine(dhdl, config, scheduler=mode)
-                t0 = time.perf_counter()
-                stats = machine.run()
-                wall = time.perf_counter() - t0
-                if best_s is None or wall < best_s:
-                    best_s = wall
-                    best = machine, stats
-            machine, stats = best
-            if check is not None:
-                check(machine)
-            entry = {
-                "cycles": stats.cycles,
-                "wall_s": round(best_s, 6),
-                "cycles_per_sec": round(stats.cycles / best_s)
-                if best_s > 0 else 0,
-            }
-            sched = machine.scheduler_stats
-            if sched is not None:
-                entry["executed_cycles"] = sched.executed_cycles
-                entry["fast_forwarded_cycles"] = \
-                    sched.fast_forwarded_cycles
-            if mode == scheduler:
-                row.update(entry)
-            else:
-                row["dense"] = entry
-        if compare_dense and scheduler != "dense":
-            dense_s = row["dense"]["wall_s"]
-            row["speedup_vs_dense"] = round(
-                dense_s / row["wall_s"], 3) if row["wall_s"] > 0 else 0.0
+    for row, outcome in map_tasks(_bench_worker, payloads, jobs=jobs):
+        if tally is not None and row["name"] not in SYNTHETIC:
+            tally.record(outcome)
         rows.append(row)
     total_cycles = sum(r["cycles"] for r in rows)
     total_s = sum(r["wall_s"] for r in rows)
+    total_compile_s = sum(r["compile_s"] for r in rows)
     return {
         "format": FORMAT,
         "rev": git_rev(),
         "scale": scale,
         "scheduler": scheduler,
         "repeat": repeat,
+        "jobs": jobs,
         "benchmarks": rows,
         "totals": {
             "cycles": total_cycles,
             "wall_s": round(total_s, 6),
             "cycles_per_sec": round(total_cycles / total_s)
             if total_s > 0 else 0,
+            "compile_s": round(total_compile_s, 6),
+            "simulate_s": round(total_s, 6),
         },
     }
 
@@ -245,18 +282,33 @@ def render(report: dict) -> str:
     lines.append(f"{'total':14s} {totals['cycles']:9d} "
                  f"{totals['wall_s'] * 1e3:9.2f} "
                  f"{totals['cycles_per_sec'] / 1e6:8.2f}")
+    if "compile_s" in totals:
+        lines.append(f"wall split: compile "
+                     f"{totals['compile_s'] * 1e3:.2f} ms, simulate "
+                     f"{totals['simulate_s'] * 1e3:.2f} ms")
     return "\n".join(lines)
 
 
 def cmd_bench(args) -> int:
     """Entry point for ``repro bench`` (wired from the CLI)."""
     import sys
+
+    from repro.bitstream.cache import CompileCache
+    from repro.eval.driver import CacheTally
+
     scale = "tiny" if args.quick else args.scale
     repeat = 1 if args.quick else args.repeat
+    # caching is opt-in for bench: compile_s is part of the report, and
+    # serving artifacts from disk would make it meaningless by default
+    cache = CompileCache(args.cache_dir) if args.cache_dir else None
+    tally = CacheTally()
     report = run_benchmarks(scale=scale, scheduler=args.scheduler,
                             repeat=repeat, apps=args.apps or None,
-                            compare_dense=args.compare_dense)
+                            compare_dense=args.compare_dense,
+                            jobs=args.jobs, cache=cache, tally=tally)
     print(render(report))
+    if tally.lookups:
+        print(tally.summary())
     path = write_report(report, args.out)
     print(f"\nwrote {path}")
     if args.baseline:

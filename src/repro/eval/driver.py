@@ -1,0 +1,122 @@
+"""Shared parallel evaluation driver.
+
+Every evaluation product (Table 6, Table 7, Figure 7, ``repro bench``)
+reduces to the same shape: a list of per-app tasks, each of which
+compiles (through the artifact cache when one is supplied) and then
+measures something.  This module owns the common machinery:
+
+* :func:`map_tasks` — run a worker over tasks either inline
+  (``jobs<=1``, semantics identical to the historical sequential loops)
+  or on a :class:`multiprocessing.Pool` with one task per child process
+  (``maxtasksperchild=1`` — a fresh interpreter state per app, so a
+  crashing or leaky simulation cannot poison its neighbours) and
+  *ordered* result collection (``pool.map`` preserves task order).
+* :class:`CacheTally` — aggregation of per-worker cache outcomes.
+  Worker processes cannot mutate the parent's
+  :class:`~repro.bitstream.cache.CacheStats`, so every worker returns an
+  outcome string (``"hit"`` / ``"miss"`` / ``"off"``) in its payload and
+  the parent folds them here.
+
+Workers must be module-level functions (picklable); each opens its own
+:class:`~repro.bitstream.cache.CompileCache` from the directory path in
+its payload.  The on-disk cache is safe under this concurrency: writes
+are atomic renames of canonical (byte-identical) content.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.bitstream.artifact import Bitstream, CompileOptions
+from repro.bitstream.cache import CompileCache
+
+
+@dataclass(frozen=True)
+class CompileSpec:
+    """One compilation request, fully picklable (crosses process
+    boundaries into pool workers)."""
+
+    app: str
+    scale: str = "small"
+    params: PlasticineParams = DEFAULT
+    options: CompileOptions = field(default_factory=CompileOptions)
+
+
+def obtain(spec: CompileSpec,
+           cache: Optional[CompileCache] = None
+           ) -> Tuple[Bitstream, str]:
+    """Resolve a spec to an artifact: cache hit, fresh compile, or
+    uncached compile.  Returns ``(artifact, outcome)``."""
+    from repro.compiler.artifact import compile_app_cached
+    return compile_app_cached(spec.app, spec.scale, params=spec.params,
+                              options=spec.options, cache=cache)
+
+
+def worker_cache(cache_dir: Optional[str]) -> Optional[CompileCache]:
+    """A worker-local cache handle from the payload's directory path."""
+    return CompileCache(cache_dir) if cache_dir is not None else None
+
+
+def cache_payload(cache: Optional[CompileCache]) -> Optional[str]:
+    """The picklable form of a cache handle (its root directory)."""
+    return str(cache.root) if cache is not None else None
+
+
+@dataclass
+class CacheTally:
+    """Compile-cache outcomes aggregated across workers."""
+
+    hits: int = 0
+    misses: int = 0
+    off: int = 0
+
+    def record(self, outcome: str) -> None:
+        """Fold one worker's outcome string into the tally."""
+        if outcome == "hit":
+            self.hits += 1
+        elif outcome == "miss":
+            self.misses += 1
+        else:
+            self.off += 1
+
+    @property
+    def lookups(self) -> int:
+        """Cache-backed compilations (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def all_hits(self) -> bool:
+        """True when every cache-backed compile was served from disk."""
+        return self.lookups > 0 and self.misses == 0
+
+    def summary(self) -> str:
+        """The CLI/CI-facing line, e.g.
+        ``compile cache: 13 hits, 0 misses (0 compiled)``."""
+        return (f"compile cache: {self.hits} "
+                f"hit{'' if self.hits == 1 else 's'}, {self.misses} "
+                f"miss{'' if self.misses == 1 else 'es'} "
+                f"({self.misses} compiled)")
+
+
+def map_tasks(worker: Callable, tasks: Iterable,
+              jobs: int = 1) -> List:
+    """Apply ``worker`` to every task, returning results in task order.
+
+    ``jobs <= 1`` runs inline in this process — byte-for-byte the
+    historical sequential behaviour (and friendly to debuggers and
+    monkeypatching).  ``jobs > 1`` fans out over a process pool with one
+    task per child; results arrive in submission order either way, so
+    callers are oblivious to the parallelism.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = 1
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    processes = min(jobs, len(tasks))
+    with multiprocessing.Pool(processes=processes,
+                              maxtasksperchild=1) as pool:
+        return pool.map(worker, tasks, chunksize=1)

@@ -11,15 +11,17 @@ values (the paper's X marks) come out as ``None``.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import ALL_APPS, App
 from repro.arch.area import pcu_area
 from repro.arch.params import DEFAULT, PcuParams
-from repro.compiler import compile_program
+from repro.bitstream.cache import CompileCache
 from repro.compiler.partition import feasible, partition_pcu
 from repro.compiler.scheduling import schedule
 from repro.dhdl.ir import InnerCompute
+from repro.eval.driver import (CacheTally, CompileSpec, cache_payload,
+                               map_tasks, obtain, worker_cache)
 from repro.eval.report import format_table
 
 #: the sweeps shown in Figure 7 (subfigure -> parameter and range)
@@ -33,13 +35,6 @@ SWEEPS = {
 }
 
 
-def _schedules_of(app: App, scale: str):
-    compiled = compile_program(app.build(scale))
-    return [schedule(leaf) for leaf in compiled.dhdl.leaves()
-            if isinstance(leaf, InnerCompute)
-            and not leaf.address_class]
-
-
 def area_for(schedules, pcu: PcuParams) -> Optional[float]:
     """Total PCU area for one benchmark at one candidate shape."""
     total = 0.0
@@ -51,29 +46,47 @@ def area_for(schedules, pcu: PcuParams) -> Optional[float]:
     return total
 
 
+def _sweep_worker(payload: Tuple[str, str, str, Tuple[int, ...],
+                                 Optional[str]]
+                  ) -> Tuple[str, Dict[int, Optional[float]], str]:
+    """Pool worker: one app's normalized overhead curve."""
+    name, scale, param, values, cache_dir = payload
+    cache = worker_cache(cache_dir)
+    artifact, outcome = obtain(CompileSpec(name, scale), cache)
+    schedules = [schedule(leaf) for leaf in artifact.dhdl.leaves()
+                 if isinstance(leaf, InnerCompute)
+                 and not leaf.address_class]
+    areas: Dict[int, Optional[float]] = {}
+    for value in values:
+        candidate = replace(DEFAULT.pcu, **{param: value})
+        areas[value] = area_for(schedules, candidate)
+    valid = [a for a in areas.values() if a is not None]
+    if not valid:
+        return name, {v: None for v in values}, outcome
+    floor = min(valid)
+    return name, {v: (a / floor - 1.0) if a is not None else None
+                  for v, a in areas.items()}, outcome
+
+
 def sweep(param: str, values: Sequence[int],
           apps: Optional[List[App]] = None,
-          scale: str = "tiny") -> Dict[str, Dict[int, Optional[float]]]:
+          scale: str = "tiny", jobs: int = 1,
+          cache: Optional[CompileCache] = None,
+          tally: Optional[CacheTally] = None
+          ) -> Dict[str, Dict[int, Optional[float]]]:
     """Overhead curves for one parameter across benchmarks.
 
     Returns ``{app: {value: overhead or None-if-infeasible}}``.
     """
     apps = apps or [a for a in ALL_APPS if a.name != "cnn"]
+    payloads = [(app.name, scale, param, tuple(values),
+                 cache_payload(cache)) for app in apps]
     curves: Dict[str, Dict[int, Optional[float]]] = {}
-    for app in apps:
-        schedules = _schedules_of(app, scale)
-        areas: Dict[int, Optional[float]] = {}
-        for value in values:
-            candidate = replace(DEFAULT.pcu, **{param: value})
-            areas[value] = area_for(schedules, candidate)
-        valid = [a for a in areas.values() if a is not None]
-        if not valid:
-            curves[app.name] = {v: None for v in values}
-            continue
-        floor = min(valid)
-        curves[app.name] = {
-            v: (a / floor - 1.0) if a is not None else None
-            for v, a in areas.items()}
+    for name, curve, outcome in map_tasks(_sweep_worker, payloads,
+                                          jobs=jobs):
+        if tally is not None:
+            tally.record(outcome)
+        curves[name] = curve
     return curves
 
 

@@ -12,6 +12,7 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+from repro.dhdl.analysis import assign_bases  # noqa: F401  (re-export)
 from repro.dhdl.memory import DramRef
 from repro.errors import SimulationError
 from repro.patterns.collections import _np_dtype
@@ -79,13 +80,3 @@ class DramImage:
         return buf.reshape(ref.array.shape)
 
 
-def assign_bases(drams: Iterable[DramRef],
-                 alignment: int = 4096) -> Dict[str, int]:
-    """Lay out arrays consecutively at ``alignment``-byte boundaries."""
-    base = {}
-    cursor = alignment  # keep address 0 unused (easier debugging)
-    for ref in drams:
-        base[ref.name] = cursor
-        size = 4 * ref.words()
-        cursor += ((size + alignment - 1) // alignment) * alignment
-    return base

@@ -12,6 +12,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.dhdl.analysis import mem_reads as _mem_reads
+from repro.dhdl.analysis import mem_writes as _mem_writes
 from repro.dhdl.control import Scheme
 from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
                            OuterController, Scatter, StreamStore, TileLoad,
@@ -19,7 +21,6 @@ from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
 from repro.dhdl.memory import FifoDecl, Reg, Sram
 from repro.dram.model import DramModel
 from repro.errors import DeadlockError, SimulationError
-from repro.patterns import expr as E
 from repro.sim.config import FabricConfig
 from repro.sim.dram_image import DramImage, assign_bases
 from repro.sim.fifo import FifoSim
@@ -30,83 +31,6 @@ from repro.sim.outer import DepEdge, OuterControllerSim
 from repro.sim.scratchpad import MemoryState
 from repro.sim.stats import SimStats
 from repro.trace.tracer import Tracer
-
-
-def _loads_of(exprs) -> Set[str]:
-    names: Set[str] = set()
-    for root in exprs:
-        for load in E.collect_loads(root):
-            names.add(load.array.name)
-    return names
-
-
-def _mem_reads(ctrl) -> Set[str]:
-    """Names of memories (on-chip and ``dram:``-prefixed) a controller
-    reads."""
-    if isinstance(ctrl, InnerCompute):
-        names = {m.name for m in ctrl.memories_read()}
-        for counter in ctrl.chain.counters:
-            names |= _loads_of((counter.lo, counter.hi))
-        return names
-    if isinstance(ctrl, TileLoad):
-        return _loads_of(ctrl.offsets) | {f"dram:{ctrl.dram.name}"}
-    if isinstance(ctrl, TileStore):
-        names = {ctrl.sram.name} | _loads_of(ctrl.offsets)
-        if ctrl.count is not None:
-            names |= _loads_of((ctrl.count,))
-        return names
-    if isinstance(ctrl, Gather):
-        names = {ctrl.addr_sram.name, f"dram:{ctrl.dram.name}"}
-        if ctrl.count is not None:
-            names |= _loads_of((ctrl.count,))
-        return names
-    if isinstance(ctrl, Scatter):
-        names = {ctrl.addr_sram.name, ctrl.val_sram.name}
-        if ctrl.count is not None:
-            names |= _loads_of((ctrl.count,))
-        return names
-    if isinstance(ctrl, StreamStore):
-        return _loads_of((ctrl.base_offset,)) | {ctrl.fifo.name}
-    if isinstance(ctrl, OuterController):
-        names = set()
-        if ctrl.chain is not None:
-            for counter in ctrl.chain.counters:
-                names |= _loads_of((counter.lo, counter.hi))
-        for child in ctrl.children:
-            names |= _mem_reads(child)
-        # memories produced inside the scope are not external reads
-        names -= _mem_writes(ctrl)
-        return names
-    raise SimulationError(f"unknown controller {ctrl!r}")
-
-
-def _mem_writes(ctrl) -> Set[str]:
-    """Names of memories a controller writes."""
-    if isinstance(ctrl, InnerCompute):
-        names = set()
-        for stmt in ctrl.stmts:
-            targets = getattr(stmt, "targets", None)
-            if targets is not None:
-                names.update(t.name for t in targets)
-            else:
-                names.add(stmt.target.name)
-        return names
-    if isinstance(ctrl, TileLoad):
-        return {ctrl.sram.name}
-    if isinstance(ctrl, TileStore):
-        return {f"dram:{ctrl.dram.name}"}
-    if isinstance(ctrl, Gather):
-        return {ctrl.dst_sram.name}
-    if isinstance(ctrl, Scatter):
-        return {f"dram:{ctrl.dram.name}"}
-    if isinstance(ctrl, StreamStore):
-        return {ctrl.count_reg.name, f"dram:{ctrl.dram.name}"}
-    if isinstance(ctrl, OuterController):
-        names: Set[str] = set()
-        for child in ctrl.children:
-            names |= _mem_writes(child)
-        return names
-    raise SimulationError(f"unknown controller {ctrl!r}")
 
 
 class Machine:

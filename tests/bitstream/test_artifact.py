@@ -1,0 +1,146 @@
+"""Bitstream artifacts: round-trip fidelity, cache behaviour, schema.
+
+The contract under test: a saved artifact, loaded in a different
+process (or the same one), simulates *identically* to the in-memory
+compile it was frozen from — same cycle counts, same results — and the
+cache never changes what a run computes, only whether the compiler ran.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.arch.params import DEFAULT
+from repro.bitstream import (SCHEMA_VERSION, Bitstream, CompileCache,
+                             CompileOptions, compile_key)
+from repro.compiler.artifact import compile_app_cached, compile_to_bitstream
+from repro.errors import ConfigError
+
+
+def _run(artifact, names):
+    machine = artifact.machine()
+    stats = machine.run()
+    return stats, {n: machine.result(n) for n in names}
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+def test_artifact_simulates_identically(app, tmp_path):
+    artifact = compile_to_bitstream(app.name, "tiny")
+    path = artifact.save(tmp_path / f"{app.name}.bitstream.json")
+    clone = Bitstream.load(path)
+    assert clone.content_hash == artifact.content_hash
+    assert clone.key == artifact.key
+
+    expected = app.expected(app.build("tiny"))
+    stats, results = _run(artifact, expected)
+    stats2, results2 = _run(clone, expected)
+    assert stats2.cycles == stats.cycles
+    assert stats2.ops_executed == stats.ops_executed
+    assert stats2.busy_cycles == stats.busy_cycles
+    for name in expected:
+        np.testing.assert_array_equal(np.asarray(results2[name]),
+                                      np.asarray(results[name]))
+    app.check(clone.dhdl, results2, expected)
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = CompileCache(tmp_path)
+    art, outcome = compile_app_cached("gemm", "tiny", cache=cache)
+    assert outcome == "miss"
+    assert (cache.stats.misses, cache.stats.stores) == (1, 1)
+
+    art2, outcome2 = compile_app_cached("gemm", "tiny", cache=cache)
+    assert outcome2 == "hit"
+    assert art2.content_hash == art.content_hash
+    assert cache.entries() == 1
+
+    # layout: <root>/bitstreams-v<schema>/<key[:2]>/<key>.json
+    entry = cache.path_for(art.key)
+    assert entry.exists()
+    rel = entry.relative_to(tmp_path)
+    assert rel.parts[0] == f"bitstreams-v{SCHEMA_VERSION}"
+    assert rel.parts[1] == art.key[:2]
+    assert rel.parts[2] == f"{art.key}.json"
+
+
+def test_cache_off_still_compiles():
+    art, outcome = compile_app_cached("gemm", "tiny", cache=None)
+    assert outcome == "off"
+    assert art.app == "gemm"
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = CompileCache(tmp_path)
+    art, _ = compile_app_cached("gemm", "tiny", cache=cache)
+    cache.path_for(art.key).write_text("{this is not json")
+
+    fresh = CompileCache(tmp_path)
+    art2, outcome = compile_app_cached("gemm", "tiny", cache=fresh)
+    assert outcome == "miss"  # corrupt entry dropped, recompiled
+    assert art2.content_hash == art.content_hash
+    _, outcome3 = compile_app_cached("gemm", "tiny", cache=fresh)
+    assert outcome3 == "hit"  # ... and the rewritten entry is good
+
+
+def test_schema_mismatch_rejected():
+    art = compile_to_bitstream("gemm", "tiny")
+    stale = art.to_dict()
+    stale["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ConfigError):
+        Bitstream.from_dict(stale)
+
+
+def test_compile_key_covers_every_input():
+    base = compile_key("gemm", "tiny")
+    assert base == compile_key("gemm", "tiny")  # deterministic
+    assert compile_key("gemm", "small") != base
+    assert compile_key("kmeans", "tiny") != base
+    assert compile_key(
+        "gemm", "tiny",
+        options=CompileOptions(tile_words=256)) != base
+    bigger = dataclasses.replace(DEFAULT, num_ags=DEFAULT.num_ags + 2)
+    assert compile_key("gemm", "tiny", params=bigger) != base
+
+
+def test_content_hash_is_canonical_bytes(tmp_path):
+    art = compile_to_bitstream("tpchq6", "tiny")
+    again = compile_to_bitstream("tpchq6", "tiny")
+    assert art.to_bytes() == again.to_bytes()
+    assert art.content_hash == again.content_hash
+
+
+# -- CLI surface ------------------------------------------------------------
+
+def test_cli_compile_then_run_artifact(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "gemm.bitstream.json"
+    assert main(["compile", "gemm", "--scale", "tiny",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "compiled and cached" in text
+
+    assert main(["compile", "gemm", "--scale", "tiny",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "loaded from cache" in capsys.readouterr().out
+
+    assert main(["run", "--artifact", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "VALIDATED" in text
+    assert "cycles" in text
+
+
+def test_cli_run_artifact_rejects_floorplan(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "gemm.bitstream.json"
+    assert main(["compile", "gemm", "--scale", "tiny", "--no-cache",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["run", "--artifact", str(out), "--floorplan"]) == 2
+
+
+def test_cli_run_needs_app_or_artifact(capsys):
+    from repro.cli import main
+    assert main(["run"]) == 2

@@ -1,0 +1,92 @@
+"""Golden determinism: compilation is a pure function of its inputs.
+
+Artifacts are canonical JSON produced by traversing only *ordered*
+containers, so the same (app, scale, params, options) must yield
+byte-identical bitstreams in any process — regardless of
+``PYTHONHASHSEED``, dict insertion history, or anything else ambient.
+The golden hashes below pin that property per registry app; a diff
+here means the compiler's output changed and the schema/cache story
+needs a deliberate decision (bump ``SCHEMA_VERSION`` or accept the new
+hashes).
+
+Regenerate after an intentional compiler change with::
+
+    PYTHONPATH=src python -c "
+    from repro.apps import ALL_APPS
+    from repro.compiler.artifact import compile_to_bitstream
+    for a in ALL_APPS:
+        b = compile_to_bitstream(a.name, 'tiny')
+        print(f'    \"{a.name}\": \"{b.content_hash}\",')"
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.compiler.artifact import compile_to_bitstream
+
+GOLDEN_TINY = {
+    "innerproduct": "2a5dd66db5972d1165278275de3bf842"
+                    "0777994c5ee11961626736ba10ce6bfc",
+    "outerproduct": "c3f872250ec40dacd98f1a75b421cfed"
+                    "6fd85b96c95e4ca9f424ee8e4cadd5ca",
+    "blackscholes": "a3a73e6eadf5beaabd177a0030c43fe6"
+                    "a047a3fd0e0519e9a967a754874e01cc",
+    "tpchq6": "0b524445c368a4bf7437f46950df03d6"
+              "5d1ca28b873ab69de4601623a07d78bc",
+    "gemm": "fb214e7a6a748a173ad1649a5ba4c203"
+            "24791b56e625b2e8f3bd479b4fb61aaa",
+    "gda": "add3505e07dca270a38122258b33dd93"
+           "fd9472935b48ee2ff1dbedd56ccb75e8",
+    "logreg": "bc198a331e08b5f2a0857bc65dcbec02"
+              "1cb7cdd29cbf5dc61b9ed2c1e80e5310",
+    "sgd": "79e5023510c666ad64bc1b086744a63c"
+           "581f66cdf23662598433e02b01e9eaa8",
+    "kmeans": "6971c74816c6f43c9689b6204bd8f09e"
+              "628704345e07b3f9c4aedd034240dfd3",
+    "cnn": "1baa47cf1813d7f65d30e047aad898e5"
+           "498f9d8928ccff09d1a01425109674e5",
+    "smdv": "a48358da55b48c5fc45eeeb2a0cf6157"
+            "119f789ffd3a70c19eb0d2d7c6a29927",
+    "pagerank": "f0a018df0db4207e2b495378ae29d5a1"
+                "685604768f66016a55607954b755fef7",
+    "bfs": "88241642df0ada49a689f0bb8fa354f8"
+           "0296ab527e80b20ac1f3b0f0f3d7eb10",
+}
+
+
+def test_golden_covers_every_registry_app():
+    assert set(GOLDEN_TINY) == {a.name for a in ALL_APPS}
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+def test_content_hash_pinned(app):
+    artifact = compile_to_bitstream(app.name, "tiny")
+    assert artifact.content_hash == GOLDEN_TINY[app.name], (
+        f"{app.name} artifact bytes changed — see the module docstring "
+        "for the regeneration recipe")
+
+
+_SNIPPET = ("import sys\n"
+            "from repro.compiler.artifact import compile_to_bitstream\n"
+            "sys.stdout.write("
+            "compile_to_bitstream('kmeans', 'tiny').content_hash)\n")
+
+
+def test_fresh_processes_agree_bytewise():
+    """Two interpreters with different hash seeds produce the same
+    artifact — the golden test's premise, checked explicitly."""
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    hashes = []
+    for seed in ("0", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", _SNIPPET],
+                              env=env, capture_output=True, text=True,
+                              check=True)
+        hashes.append(proc.stdout.strip())
+    assert hashes[0] == hashes[1] == GOLDEN_TINY["kmeans"]

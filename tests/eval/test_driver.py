@@ -1,0 +1,119 @@
+"""Parallel eval driver: ordering, cache accounting, jobs-equivalence.
+
+Two of the PR's acceptance criteria live here: a cache-warm
+``table7 --scale=small`` run performs *zero* compilations, and a
+``--jobs=N`` table is identical to a sequential one.
+"""
+
+from repro.apps import ALL_APPS, get_app
+from repro.bitstream.cache import CompileCache
+from repro.eval import bench, figure7, table6, table7
+from repro.eval.driver import CacheTally, map_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def test_map_tasks_preserves_order_inline_and_pooled():
+    tasks = list(range(8))
+    expected = [x * x for x in tasks]
+    assert map_tasks(_square, tasks, jobs=1) == expected
+    assert map_tasks(_square, tasks, jobs=4) == expected
+    assert map_tasks(_square, [], jobs=4) == []
+
+
+def test_cache_tally_summary_and_flags():
+    tally = CacheTally()
+    for _ in range(13):
+        tally.record("hit")
+    assert tally.summary() == \
+        "compile cache: 13 hits, 0 misses (0 compiled)"
+    assert tally.all_hits and tally.lookups == 13
+
+    mixed = CacheTally()
+    mixed.record("miss")
+    mixed.record("hit")
+    assert mixed.summary() == "compile cache: 1 hit, 1 miss (1 compiled)"
+    assert not mixed.all_hits
+
+    off = CacheTally()
+    off.record("off")
+    assert off.lookups == 0 and not off.all_hits
+
+
+def test_cached_table7_small_recompiles_nothing(tmp_path):
+    """Acceptance: the second cache-backed ``table7 --scale=small``
+    performs zero compilations and reproduces the table exactly."""
+    cold = CacheTally()
+    rows = table7.generate(scale="small", validate=False,
+                           cache=CompileCache(tmp_path), tally=cold)
+    assert (cold.misses, cold.hits) == (len(ALL_APPS), 0)
+
+    warm = CacheTally()
+    rows2 = table7.generate(scale="small", validate=False,
+                            cache=CompileCache(tmp_path), tally=warm)
+    assert (warm.hits, warm.misses) == (len(ALL_APPS), 0)
+    assert warm.all_hits
+    assert warm.summary() == \
+        "compile cache: 13 hits, 0 misses (0 compiled)"
+    assert rows2 == rows
+
+
+def test_table7_jobs_equivalence(tmp_path):
+    """Acceptance: ``--jobs=4`` produces a table identical to
+    ``--jobs=1`` (same rows, same order, same floats)."""
+    seq = table7.generate(scale="tiny", validate=False, jobs=1)
+    par = table7.generate(scale="tiny", validate=False, jobs=4)
+    assert par == seq
+
+    # ... and caching changes neither
+    cache = CompileCache(tmp_path)
+    cached = table7.generate(scale="tiny", validate=False, jobs=4,
+                             cache=cache)
+    assert cached == seq
+
+
+def test_table6_and_figure7_share_the_cache(tmp_path):
+    apps = [get_app("gemm"), get_app("tpchq6")]
+    tally = CacheTally()
+    overheads = table6.generate(scale="tiny", apps=apps,
+                                cache=CompileCache(tmp_path),
+                                tally=tally)
+    assert tally.misses == 2 and set(overheads) == {"gemm", "tpchq6"}
+
+    # figure7 at the same scale reuses the very same entries
+    sweep_tally = CacheTally()
+    curves = figure7.sweep("stages", (5, 6), apps=apps, scale="tiny",
+                           cache=CompileCache(tmp_path),
+                           tally=sweep_tally)
+    assert (sweep_tally.hits, sweep_tally.misses) == (2, 0)
+    assert set(curves) == {"gemm", "tpchq6"}
+
+    ctl_tally = CacheTally()
+    control = table6.control_overhead(scale="tiny", apps=apps, jobs=2,
+                                      cache=CompileCache(tmp_path),
+                                      tally=ctl_tally)
+    assert (ctl_tally.hits, ctl_tally.misses) == (2, 0)
+    assert all(r["cycles"] > 0 for r in control.values())
+
+
+def test_bench_reports_wall_split_and_jobs(tmp_path):
+    tally = CacheTally()
+    report = bench.run_benchmarks(scale="tiny", repeat=1,
+                                  apps=["gemm", "dram_rowconf"],
+                                  cache=CompileCache(tmp_path),
+                                  tally=tally, jobs=2)
+    assert report["jobs"] == 2
+    totals = report["totals"]
+    assert "compile_s" in totals and "simulate_s" in totals
+    assert totals["wall_s"] >= 0 and totals["compile_s"] >= 0
+    # synthetic benchmarks bypass the cache: only gemm is tallied
+    assert tally.lookups == 1
+    names = [r["name"] for r in report["benchmarks"]]
+    assert names == ["gemm", "dram_rowconf"]
+
+    seq = bench.run_benchmarks(scale="tiny", repeat=1,
+                               apps=["gemm", "dram_rowconf"], jobs=1)
+    assert [r["cycles"] for r in seq["benchmarks"]] == \
+        [r["cycles"] for r in report["benchmarks"]]
