@@ -219,6 +219,10 @@ class Bitstream:
 
     @staticmethod
     def from_dict(data: dict) -> "Bitstream":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"artifact must decode to a dict, got "
+                f"{type(data).__name__}")
         schema = data.get("schema")
         if schema != SCHEMA_VERSION:
             raise ConfigError(

@@ -17,12 +17,14 @@ the same app race benignly: last writer wins with identical bytes.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.bitstream.artifact import SCHEMA_VERSION, Bitstream
+from repro.errors import ConfigError
 
 
 def default_cache_root() -> Path:
@@ -40,23 +42,32 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: entries present on disk but undecodable (truncated write, schema
+    #: drift, hand-edited file) — dropped and recompiled, counted apart
+    #: from plain misses so corruption is visible in reports
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
         """Total get() calls."""
-        return self.hits + self.misses
+        return self.hits + self.misses + self.corrupt
 
     def merge(self, other: "CacheStats") -> None:
         """Fold another tally (e.g. from a worker process) into this one."""
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
+        self.corrupt += other.corrupt
 
     def summary(self) -> str:
         """One-line report, e.g. ``3 hits, 1 miss (1 compiled)``."""
+        compiled = self.misses + self.corrupt
         plural = "" if self.misses == 1 else "es"
-        return (f"{self.hits} hit{'' if self.hits == 1 else 's'}, "
-                f"{self.misses} miss{plural} ({self.misses} compiled)")
+        line = (f"{self.hits} hit{'' if self.hits == 1 else 's'}, "
+                f"{self.misses} miss{plural} ({compiled} compiled)")
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt"
+        return line
 
 
 class CompileCache:
@@ -72,23 +83,40 @@ class CompileCache:
         return self.dir / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Bitstream]:
-        """The cached artifact for ``key``, or None (counted as a miss).
+        """The cached artifact for ``key``, or None (caller recompiles).
 
-        Unreadable entries (truncated writes, schema drift inside a
-        versioned directory) are misses, not errors.
+        Outcomes are kept distinct: an absent entry is a miss; a
+        *transient* read failure (EIO, EACCES, ...) is a miss but the
+        entry — which may be perfectly fine — is left in place; an
+        undecodable entry (truncated write, schema drift inside a
+        versioned directory) is dropped and counted in
+        ``stats.corrupt``.  Anything else is a programming bug and
+        propagates instead of masquerading as a cache miss.
         """
         path = self.path_for(key)
         try:
-            artifact = Bitstream.load(path)
+            raw = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
+        except OSError:
+            # transient read error: do NOT unlink — the entry may be
+            # intact and readable on the next lookup
+            self.stats.misses += 1
+            return None
+        try:
+            artifact = Bitstream.from_dict(
+                json.loads(raw.decode("utf-8")))
+        except (ValueError, KeyError, TypeError, ConfigError):
+            # undecodable entry (JSONDecodeError/UnicodeDecodeError are
+            # ValueErrors; missing or mistyped fields raise
+            # KeyError/TypeError; ConfigError covers schema mismatch):
+            # drop it so the next put can rewrite it
             try:
-                path.unlink()  # corrupt entry: make room for a re-put
+                path.unlink()
             except OSError:
                 pass
-            self.stats.misses += 1
+            self.stats.corrupt += 1
             return None
         self.stats.hits += 1
         return artifact

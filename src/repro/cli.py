@@ -302,6 +302,25 @@ def _cmd_figure7(args) -> int:
     return 2
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import replay_corpus, run_campaign
+    campaign = run_campaign(args.seed, args.runs, shrink=args.shrink,
+                            save_dir=args.save_failures,
+                            progress=print)
+    print(campaign.summary())
+    status = 1 if campaign.divergences else 0
+    if args.corpus is not None:
+        replayed = replay_corpus(args.corpus)
+        bad = [(p, r) for p, r in replayed if not r.ok]
+        print(f"corpus: {len(replayed)} specs replayed, "
+              f"{len(bad)} failing")
+        for path, result in bad:
+            print(f"  {path}: {result.describe()}")
+        if bad:
+            status = 1
+    return status
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -414,6 +433,24 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--scale", default="small",
                      choices=("tiny", "small"))
     add_cache_args(fig)
+    fuzz = sub.add_parser(
+        "fuzz", help="differential-fuzz the executors (see repro.fuzz)")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="first campaign seed (default 0)")
+    fuzz.add_argument("--runs", type=_positive_int, default=50,
+                      metavar="N",
+                      help="number of consecutive seeds to fuzz "
+                           "(default 50)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="minimize each failing program before "
+                           "reporting it")
+    fuzz.add_argument("--save-failures", default=None, metavar="DIR",
+                      help="write failing specs (and .min.json shrunk "
+                           "twins with --shrink) into DIR")
+    fuzz.add_argument("--corpus", nargs="?", const="tests/fuzz/corpus",
+                      default=None, metavar="DIR",
+                      help="also replay the checked-in regression "
+                           "corpus (default dir: tests/fuzz/corpus)")
     return parser
 
 
@@ -435,6 +472,8 @@ def main(argv=None) -> int:
         return _cmd_table(args)
     if args.command == "figure7":
         return _cmd_figure7(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return 2
 
 

@@ -1,0 +1,48 @@
+"""``repro.fuzz`` — differential fuzzing of the three executors.
+
+The repo carries three independent implementations of the pattern
+semantics — the pure-Python reference executor, the dense cycle-exact
+simulator, and the event-driven scheduler — plus a serialized bitstream
+path between compile and run.  This package pins their equivalence on
+*arbitrary* well-typed pattern programs, not just the hand-written
+benchmark registry:
+
+* :mod:`~repro.fuzz.generator` — a seeded generator of program *specs*
+  (small JSON documents) and a deterministic spec -> ``Program``
+  builder;
+* :mod:`~repro.fuzz.oracle` — the three-way differential oracle
+  (executor vs dense-sim vs event-sim memory images, dense/event
+  ``SimStats`` equality, and a bitstream serialize/deserialize
+  round-trip before any simulation);
+* :mod:`~repro.fuzz.shrink` — a greedy minimizer that reduces a failing
+  spec while preserving its failure signature;
+* :mod:`~repro.fuzz.harness` — the campaign driver behind
+  ``repro fuzz --seed/--runs/--shrink`` and the corpus replay used by
+  the regression tests under ``tests/fuzz/corpus/``.
+
+Specs — not programs — are the unit of exchange: they are tiny, human
+readable, deterministic to rebuild, and trivially check-innable as
+regression corpus entries.
+"""
+
+from repro.fuzz.generator import (SPEC_VERSION, build_program, gen_spec,
+                                  load_spec, save_spec, spec_name)
+from repro.fuzz.harness import FuzzCampaign, replay_corpus, run_campaign
+from repro.fuzz.oracle import OracleResult, run_oracle
+from repro.fuzz.shrink import failure_signature, shrink_spec
+
+__all__ = [
+    "SPEC_VERSION",
+    "FuzzCampaign",
+    "OracleResult",
+    "build_program",
+    "failure_signature",
+    "gen_spec",
+    "load_spec",
+    "replay_corpus",
+    "run_campaign",
+    "run_oracle",
+    "save_spec",
+    "shrink_spec",
+    "spec_name",
+]

@@ -1,0 +1,421 @@
+"""Seeded generation of well-typed random pattern programs.
+
+The generator emits *specs*: small JSON-serializable dicts that fully
+determine one program — step kinds, domain sizes, tile overrides, par
+factors, expression seeds, data seeds.  :func:`build_program` rebuilds
+the identical :class:`~repro.patterns.program.Program` (same symbolic
+structure, same input data) from a spec on any machine, which is what
+makes shrinking and corpus replay possible.
+
+Coverage (mirrors Table 1 of the paper plus the repo's extensions):
+
+* ``map``     — 1-d elementwise Map with a random expression tree over
+                1..2 input arrays, vectorised ``par`` ways; its output
+                re-enters the operand pool so later steps chain on it
+                (producer/consumer edges, double buffering);
+* ``map2d``   — 2-d Map with an optional explicit tile override;
+* ``fold``    — full reduction with a random associative combine
+                (sum/max/min), optional outer-loop unrolling;
+* ``map_fold``— nested Map{Fold} row reduction (the GEMM shape);
+* ``segfold`` — CSR-style segmented reduction whose inner Fold bounds
+                are *data-dependent* expressions ``ptr[i] .. ptr[i+1]``;
+* ``filter``  — FlatMap with a dynamic-length output, optionally
+                consumed by a Fold over ``Dyn(count)`` (the BFS shape);
+* ``hash_reduce`` — dense keyed reduction with an affine-mod key;
+* ``scatter`` — random writes through a bijective affine index (no
+                collision-order dependence, so results stay exact);
+* ``loop``    — a sequential outer Loop re-running a recurrence map
+                ``trip`` times (the LogReg/PageRank shape).
+
+Programs compose 1..4 steps, so cross-step interactions (dependency
+edges, buffer credits, scheduler overlap) are exercised, not just
+isolated patterns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PatternError
+from repro.patterns import Dyn, Fold, Program
+from repro.patterns import expr as E
+
+SPEC_VERSION = 1
+
+#: generation-time bounds — small enough to simulate in well under a
+#: second, large enough to cross tile boundaries (tile_words=128)
+_SIZES_1D = (48, 96, 128, 160, 256, 384)
+_PARS = (1, 4, 8, 16)
+
+_FLOAT_OPS = ("add", "sub", "mul", "min", "max", "select", "abs")
+
+
+# ---------------------------------------------------------------------------
+# Expression trees
+# ---------------------------------------------------------------------------
+
+
+def _rand_expr(rng: np.random.Generator, operands, depth: int) -> E.Expr:
+    """A random float32 expression tree over the operand makers.
+
+    Ops are restricted to the overflow-safe subset (+, -, *, min, max,
+    select, abs) and constants to [-1.5, 1.5]: the executor evaluates in
+    float64-then-round-to-float32 while the simulator datapath does the
+    same, so keeping magnitudes moderate keeps legitimate float
+    reassociation differences within the oracle's tolerance.
+    """
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.75:
+            return operands[int(rng.integers(len(operands)))]()
+        return E.wrap(float(np.float32(rng.uniform(-1.5, 1.5))))
+    op = _FLOAT_OPS[int(rng.integers(len(_FLOAT_OPS)))]
+    lhs = _rand_expr(rng, operands, depth - 1)
+    if op == "abs":
+        return E.absolute(lhs)
+    rhs = _rand_expr(rng, operands, depth - 1)
+    if op == "min":
+        return E.minimum(lhs, rhs)
+    if op == "max":
+        return E.maximum(lhs, rhs)
+    if op == "select":
+        return E.select(lhs > rhs, lhs, rhs * 0.5)
+    return E.BinOp(op, lhs, rhs)
+
+
+def _data(seed: int, shape, lo=-2.0, hi=2.0) -> np.ndarray:
+    """Deterministic float32 input data for one array."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(lo, hi, shape).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Spec generation
+# ---------------------------------------------------------------------------
+
+_KINDS = ("map", "map2d", "fold", "map_fold", "segfold", "filter",
+          "hash_reduce", "scatter", "loop")
+#: relative generation weight per kind (chaining-friendly maps dominate)
+_WEIGHTS = (30, 12, 14, 10, 8, 10, 6, 4, 6)
+
+
+def gen_spec(seed: int) -> dict:
+    """Generate one random program spec from a campaign seed."""
+    rng = np.random.default_rng(np.random.SeedSequence([0xF022, seed]))
+    n = int(rng.choice(_SIZES_1D))
+    num_steps = int(rng.integers(1, 5))
+    weights = np.asarray(_WEIGHTS, dtype=float)
+    weights /= weights.sum()
+    steps = []
+    chained = 1  # arrays available in the 1-d operand pool
+    for k in range(num_steps):
+        kind = str(rng.choice(_KINDS, p=weights))
+        step = _gen_step(rng, kind, n, chained)
+        if step["kind"] == "map":
+            chained += 1
+        steps.append(step)
+    return {"version": SPEC_VERSION, "seed": int(seed), "n": n,
+            "steps": steps}
+
+
+def _gen_step(rng: np.random.Generator, kind: str, n: int,
+              chained: int) -> dict:
+    eseed = int(rng.integers(0, 2 ** 31))
+    dseed = int(rng.integers(0, 2 ** 31))
+    par = int(rng.choice(_PARS))
+    if kind == "map":
+        return {"kind": "map", "reads": int(rng.integers(1, 3)),
+                "depth": int(rng.integers(1, 4)), "expr_seed": eseed,
+                "data_seed": dseed, "par": par}
+    if kind == "map2d":
+        rows = int(rng.choice([12, 24, 48]))
+        cols = int(rng.choice([16, 32, 64]))
+        tile = None
+        if rng.random() < 0.5:
+            tile = [int(rng.choice([4, 8, 12])), int(rng.choice([8, 16]))]
+        return {"kind": "map2d", "rows": rows, "cols": cols,
+                "tile": tile, "par": [1, min(par, 16)],
+                "depth": int(rng.integers(1, 3)), "expr_seed": eseed,
+                "data_seed": dseed}
+    if kind == "fold":
+        return {"kind": "fold",
+                "combine": str(rng.choice(["sum", "max", "min"])),
+                "depth": int(rng.integers(1, 3)), "expr_seed": eseed,
+                "data_seed": dseed, "par": par,
+                "outer": int(rng.choice([1, 1, 2]))}
+    if kind == "map_fold":
+        return {"kind": "map_fold", "rows": int(rng.choice([8, 16, 32])),
+                "cols": int(rng.choice([16, 32, 64])),
+                "inner_par": int(rng.choice([1, 8, 16])),
+                "depth": int(rng.integers(1, 3)), "expr_seed": eseed,
+                "data_seed": dseed}
+    if kind == "segfold":
+        return {"kind": "segfold", "rows": int(rng.choice([8, 16, 24])),
+                "mean_seg": int(rng.choice([2, 4, 8])),
+                "depth": int(rng.integers(1, 3)), "expr_seed": eseed,
+                "data_seed": dseed}
+    if kind == "filter":
+        return {"kind": "filter",
+                "threshold": float(np.float32(rng.uniform(-1.5, 1.5))),
+                "par": par, "consume": bool(rng.random() < 0.5),
+                "data_seed": dseed}
+    if kind == "hash_reduce":
+        bins = int(rng.choice([4, 8, 16]))
+        return {"kind": "hash_reduce", "bins": bins,
+                "stride": int(rng.choice([1, 3, 5, 7])),
+                "offset": int(rng.integers(0, bins)),
+                "depth": int(rng.integers(1, 3)), "expr_seed": eseed,
+                "data_seed": dseed, "par": par}
+    if kind == "scatter":
+        m = int(rng.choice([32, 64, 128]))
+        # stride coprime with m (m is a power of two -> any odd works):
+        # the index map is a bijection, so results don't depend on
+        # collision order
+        return {"kind": "scatter", "m": m,
+                "stride": int(rng.choice([1, 3, 5, 7, 9])),
+                "offset": int(rng.integers(0, m)),
+                "depth": int(rng.integers(1, 3)), "expr_seed": eseed,
+                "data_seed": dseed}
+    if kind == "loop":
+        return {"kind": "loop", "trip": int(rng.choice([2, 3, 4])),
+                "decay": float(np.float32(rng.uniform(0.2, 0.8))),
+                "par": par, "data_seed": dseed}
+    raise ValueError(f"unknown step kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Spec -> Program
+# ---------------------------------------------------------------------------
+
+
+def spec_name(spec: dict) -> str:
+    """Deterministic program name for a spec."""
+    return f"fuzz_{spec.get('seed', 0)}"
+
+
+def build_program(spec: dict) -> Tuple[Program, List[str]]:
+    """Deterministically rebuild ``(program, output_names)`` from a spec.
+
+    Raises :class:`~repro.errors.PatternError` (or a subclass) for
+    structurally invalid specs — shrink candidates may produce those and
+    the shrinker treats them as non-reproducing.
+    """
+    version = spec.get("version")
+    if version != SPEC_VERSION:
+        raise PatternError(
+            f"unsupported fuzz spec version {version!r}")
+    n = int(spec["n"])
+    program = Program(spec_name(spec))
+    outputs: List[str] = []
+    #: 1-d float arrays of length n usable as chained operands
+    pool = []
+    base = program.input("in0", (n,),
+                         data=_data(spec.get("seed", 0) * 2 + 1, n))
+    pool.append(base)
+    for k, step in enumerate(spec["steps"]):
+        _build_step(program, step, k, n, pool, outputs)
+    if not outputs:
+        raise PatternError("spec produced no outputs")
+    return program, outputs
+
+
+def _pool_reads(program: Program, step: dict, k: int, n: int, pool,
+                count: int):
+    """Pick ``count`` operand arrays: reuse pool arrays first (chaining),
+    then declare fresh inputs with data from the step's data seed."""
+    picks = []
+    rng = np.random.default_rng(step["data_seed"])
+    for r in range(count):
+        if pool and rng.random() < 0.6:
+            picks.append(pool[int(rng.integers(len(pool)))])
+        else:
+            fresh = program.input(f"in{k}_{r}", (n,),
+                                  data=_data(step["data_seed"] + r, n))
+            pool.append(fresh)
+            picks.append(fresh)
+    return picks
+
+
+def _build_step(program: Program, step: dict, k: int, n: int, pool,
+                outputs: List[str]) -> None:
+    kind = step["kind"]
+    if kind == "map":
+        reads = _pool_reads(program, step, k, n, pool,
+                            int(step["reads"]))
+        out = program.output(f"out{k}", (n,))
+        erng = np.random.default_rng(step["expr_seed"])
+
+        def body(i, reads=reads, erng=erng, depth=int(step["depth"])):
+            makers = [lambda a=a: a[i] for a in reads]
+            return _rand_expr(erng, makers, depth)
+
+        program.map(f"map{k}", out, n, body).set_par(
+            int(step["par"]))
+        pool.append(out)
+        outputs.append(out.name)
+        return
+    if kind == "map2d":
+        rows, cols = int(step["rows"]), int(step["cols"])
+        m = program.input(f"mat{k}", (rows, cols),
+                          data=_data(step["data_seed"], (rows, cols)))
+        out = program.output(f"out{k}", (rows, cols))
+        erng = np.random.default_rng(step["expr_seed"])
+        depth = int(step["depth"])
+
+        def body2(i, j, m=m, erng=erng, depth=depth):
+            makers = [lambda: m[i, j]]
+            return _rand_expr(erng, makers, depth)
+
+        built = program.map(f"map2d{k}", out, (rows, cols), body2)
+        built.set_par(*[int(p) for p in step["par"]])
+        if step.get("tile"):
+            built.tile = tuple(int(t) for t in step["tile"])
+        outputs.append(out.name)
+        return
+    if kind == "fold":
+        (src,) = _pool_reads(program, step, k, n, pool, 1)
+        out = program.output(f"out{k}")
+        combine = step["combine"]
+        if combine == "sum":
+            init, comb = 0.0, (lambda a, b: a + b)
+        elif combine == "max":
+            init, comb = -1e30, (lambda a, b: E.maximum(a, b))
+        else:
+            init, comb = 1e30, (lambda a, b: E.minimum(a, b))
+        erng = np.random.default_rng(step["expr_seed"])
+        depth = int(step["depth"])
+
+        def fbody(i, src=src, erng=erng, depth=depth):
+            return _rand_expr(erng, [lambda: src[i]], depth)
+
+        program.fold(f"fold{k}", out, n, init, fbody, comb).set_par(
+            int(step["par"]), outer=int(step["outer"]))
+        outputs.append(out.name)
+        return
+    if kind == "map_fold":
+        rows, cols = int(step["rows"]), int(step["cols"])
+        m = program.input(f"mat{k}", (rows, cols),
+                          data=_data(step["data_seed"], (rows, cols)))
+        out = program.output(f"out{k}", (rows,))
+        erng = np.random.default_rng(step["expr_seed"])
+        depth = int(step["depth"])
+
+        def rowred(i, m=m, cols=cols, erng=erng, depth=depth):
+            return Fold(cols, 0.0,
+                        lambda j: _rand_expr(erng, [lambda: m[i, j]],
+                                             depth),
+                        lambda a, b: a + b)
+
+        program.map(f"mapfold{k}", out, rows, rowred).set_par(
+            1, inner=int(step["inner_par"]))
+        outputs.append(out.name)
+        return
+    if kind == "segfold":
+        rows = int(step["rows"])
+        rng = np.random.default_rng(step["data_seed"])
+        counts = np.maximum(
+            1, rng.poisson(int(step["mean_seg"]), rows)).astype(np.int64)
+        ptr_d = np.zeros(rows + 1, dtype=np.int32)
+        ptr_d[1:] = np.cumsum(counts)
+        nnz = int(ptr_d[-1])
+        vals_d = rng.uniform(-2, 2, nnz).astype(np.float32)
+        ptr = program.input(f"ptr{k}", (rows + 1,), E.INT32, data=ptr_d)
+        vals = program.input(f"vals{k}", (nnz,), data=vals_d)
+        out = program.output(f"out{k}", (rows,))
+        erng = np.random.default_rng(step["expr_seed"])
+        depth = int(step["depth"])
+        program.map(
+            f"segfold{k}", out, rows,
+            lambda i: Fold((ptr[i], ptr[i + 1]), 0.0,
+                           lambda j: _rand_expr(erng,
+                                                [lambda: vals[j]],
+                                                depth),
+                           lambda a, b: a + b))
+        outputs.append(out.name)
+        return
+    if kind == "filter":
+        (src,) = _pool_reads(program, step, k, n, pool, 1)
+        count = program.output(f"count{k}", (), E.INT32)
+        kept = program.output(f"kept{k}", (Dyn(count),), max_elems=n)
+        threshold = float(step["threshold"])
+        program.filter(f"filter{k}", kept, count, n,
+                       cond=lambda i: src[i] > threshold,
+                       value=lambda i: src[i] * 2.0).set_par(
+            int(step["par"]))
+        outputs.extend([count.name, kept.name])
+        if step.get("consume"):
+            total = program.output(f"fsum{k}")
+            program.fold(f"consume{k}", total, Dyn(count), 0.0,
+                         lambda i: kept[i], lambda a, b: a + b)
+            outputs.append(total.name)
+        return
+    if kind == "hash_reduce":
+        (src,) = _pool_reads(program, step, k, n, pool, 1)
+        bins = int(step["bins"])
+        stride, offset = int(step["stride"]), int(step["offset"])
+        out = program.output(f"out{k}", (bins,))
+        erng = np.random.default_rng(step["expr_seed"])
+        depth = int(step["depth"])
+        program.hash_reduce(
+            f"hash{k}", out, n, bins,
+            key=lambda i: (i * stride + offset) % bins,
+            value=lambda i: _rand_expr(erng, [lambda: src[i]], depth),
+            r=lambda a, b: a + b).set_par(int(step["par"]))
+        outputs.append(out.name)
+        return
+    if kind == "scatter":
+        m = int(step["m"])
+        stride, offset = int(step["stride"]), int(step["offset"])
+        # NOT "in{k}": at k == 0 that would collide with the base
+        # input "in0" (the first crasher this fuzzer ever found —
+        # tests/fuzz/corpus/fuzz_44.min.json)
+        src = program.input(f"scat{k}", (m,),
+                            data=_data(step["data_seed"], m))
+        target = program.output(f"out{k}", (m,))
+        erng = np.random.default_rng(step["expr_seed"])
+        depth = int(step["depth"])
+        program.scatter(
+            f"scatter{k}", target, m,
+            index=lambda i: (i * stride + offset) % m,
+            value=lambda i: _rand_expr(erng, [lambda: src[i]], depth))
+        outputs.append(target.name)
+        return
+    if kind == "loop":
+        (src,) = _pool_reads(program, step, k, n, pool, 1)
+        decay = float(step["decay"])
+        state = program.output(f"out{k}", (n,))
+        state.set_data(np.zeros(n, dtype=np.float32))
+        fresh = program.temp(f"fresh{k}", (n,))
+        # the PageRank idiom: compute into a temp, then publish — a
+        # sequential recurrence without same-step read/write of one
+        # array
+        with program.loop(f"loop{k}", int(step["trip"])):
+            program.map(f"recur{k}", fresh, n,
+                        lambda i: state[i] * decay + src[i]).set_par(
+                int(step["par"]))
+            program.map(f"publish{k}", state, n,
+                        lambda i: fresh[i]).set_par(int(step["par"]))
+        outputs.append(state.name)
+        return
+    raise PatternError(f"unknown fuzz step kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Spec files (corpus entries)
+# ---------------------------------------------------------------------------
+
+
+def save_spec(spec: dict, path: Union[str, Path]) -> Path:
+    """Write one spec as pretty (reviewable) JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(spec, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_spec(path: Union[str, Path]) -> dict:
+    """Read one spec written by :func:`save_spec`."""
+    return json.loads(Path(path).read_text())

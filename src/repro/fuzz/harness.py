@@ -1,0 +1,112 @@
+"""Fuzz campaign driver and corpus replay.
+
+A *campaign* is ``runs`` consecutive seeds starting at ``--seed``, each
+generated, built, and pushed through the three-way oracle.  Failures
+are (optionally) shrunk and written as spec JSON files — ready to be
+checked into ``tests/fuzz/corpus/`` as regression entries once the
+underlying bug is fixed.
+
+The corpus is replayed two ways: by ``tests/fuzz/test_corpus.py`` on
+every pytest run, and by ``repro fuzz --corpus`` (the CI fuzz-smoke job
+does both).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.fuzz.generator import gen_spec, save_spec, load_spec, spec_name
+from repro.fuzz.oracle import OracleResult, run_oracle
+from repro.fuzz.shrink import shrink_spec
+
+#: default checked-in regression corpus (repo-relative)
+DEFAULT_CORPUS = Path("tests") / "fuzz" / "corpus"
+
+
+@dataclass
+class FuzzCampaign:
+    """Summary of one fuzz campaign."""
+
+    seed: int
+    runs: int
+    ok: int = 0
+    failures: List[OracleResult] = field(default_factory=list)
+    #: (original failing spec, minimized spec) pairs, aligned with
+    #: ``failures``
+    shrunk: List[Tuple[dict, dict]] = field(default_factory=list)
+    wall_s: float = 0.0
+    total_cycles: int = 0
+
+    @property
+    def divergences(self) -> int:
+        """Number of failing seeds."""
+        return len(self.failures)
+
+    def summary(self) -> str:
+        """Multi-line human report."""
+        lines = [f"fuzz: {self.runs} programs from seed {self.seed}: "
+                 f"{self.ok} ok, {self.divergences} divergent "
+                 f"({self.total_cycles} simulated cycles, "
+                 f"{self.wall_s:.1f} s)"]
+        for result in self.failures:
+            lines.append("  " + result.describe())
+        return "\n".join(lines)
+
+
+def run_campaign(seed: int, runs: int, shrink: bool = False,
+                 save_dir: Optional[Union[str, Path]] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> FuzzCampaign:
+    """Fuzz ``runs`` seeds starting at ``seed``.
+
+    ``shrink`` minimizes each failure before reporting; ``save_dir``
+    writes failing specs (and their ``.min`` counterparts) as JSON.
+    """
+    campaign = FuzzCampaign(seed=seed, runs=runs)
+    started = time.time()
+    for k in range(runs):
+        spec = gen_spec(seed + k)
+        result = run_oracle(spec)
+        if result.ok:
+            campaign.ok += 1
+            campaign.total_cycles += result.cycles
+            continue
+        if progress is not None:
+            progress(result.describe())
+        minimized = spec
+        if shrink:
+            minimized, min_result = shrink_spec(spec)
+            # report the minimized failure; fall back if shrinking
+            # somehow lost the bug entirely
+            if not min_result.ok:
+                result = min_result
+            if progress is not None:
+                progress(f"  shrunk to {_spec_size(minimized)} "
+                         f"(from {_spec_size(spec)}): "
+                         f"{min_result.describe()}")
+        campaign.failures.append(result)
+        campaign.shrunk.append((spec, minimized))
+        if save_dir is not None:
+            stem = spec_name(spec)
+            save_spec(spec, Path(save_dir) / f"{stem}.json")
+            if shrink:
+                save_spec(minimized, Path(save_dir) / f"{stem}.min.json")
+    campaign.wall_s = time.time() - started
+    return campaign
+
+
+def _spec_size(spec: dict) -> str:
+    return f"{len(spec['steps'])} step(s), n={spec['n']}"
+
+
+def replay_corpus(corpus_dir: Union[str, Path] = DEFAULT_CORPUS
+                  ) -> List[Tuple[Path, OracleResult]]:
+    """Re-run every checked-in corpus spec through the oracle."""
+    corpus = Path(corpus_dir)
+    results = []
+    for path in sorted(corpus.glob("*.json")):
+        results.append((path, run_oracle(load_spec(path))))
+    return results

@@ -1,0 +1,124 @@
+"""Greedy spec minimization.
+
+A failing spec is shrunk by repeatedly applying the first candidate
+simplification that still reproduces the *same failure signature* —
+the (stage, error-class / mismatch-leg) pair — so the minimizer cannot
+wander onto a different bug while reducing.  Candidates are ordered by
+expected payoff: drop whole steps, then shrink domains, then simplify
+per-step knobs (depth, par, tiles, trip counts).
+
+Everything operates on plain spec dicts (deep-copied, never mutated in
+place), so the result is directly save-able as a corpus entry.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator, Tuple
+
+from repro.fuzz.generator import build_program  # noqa: F401 (re-export)
+from repro.fuzz.oracle import OracleResult, run_oracle
+
+
+def failure_signature(result: OracleResult) -> Tuple:
+    """The equivalence class a shrink step must preserve.
+
+    Errors reduce to (stage, exception class); comparison failures to
+    (stage, sorted set of mismatching legs — array names are dropped
+    because they shift as steps are removed).
+    """
+    if result.ok:
+        return ("ok",)
+    if result.error:
+        return (result.stage, result.error.split(":", 1)[0])
+    legs = sorted({m.split(":", 1)[0] for m in result.mismatches})
+    return (result.stage, tuple(legs))
+
+
+def _without_step(spec: dict, index: int) -> dict:
+    cand = copy.deepcopy(spec)
+    del cand["steps"][index]
+    return cand
+
+
+def _with_field(spec: dict, index: int, field: str, value) -> dict:
+    cand = copy.deepcopy(spec)
+    cand["steps"][index][field] = value
+    return cand
+
+
+def _with_n(spec: dict, n: int) -> dict:
+    cand = copy.deepcopy(spec)
+    cand["n"] = n
+    return cand
+
+
+def _candidates(spec: dict) -> Iterator[dict]:
+    """Candidate simplifications, biggest payoff first."""
+    steps = spec["steps"]
+    # 1. drop whole steps (later steps first: chained readers go before
+    #    the producers they depend on)
+    if len(steps) > 1:
+        for k in range(len(steps) - 1, -1, -1):
+            yield _without_step(spec, k)
+    # 2. shrink the shared 1-d domain
+    if spec["n"] > 16:
+        yield _with_n(spec, max(16, spec["n"] // 2))
+    # 3. per-step knob simplifications
+    for k, step in enumerate(steps):
+        for fld in ("rows", "cols", "m"):
+            if step.get(fld, 0) > 4:
+                yield _with_field(spec, k, fld, max(4, step[fld] // 2))
+        if step.get("depth", 0) > 1:
+            yield _with_field(spec, k, "depth", step["depth"] - 1)
+        if step.get("reads", 0) > 1:
+            yield _with_field(spec, k, "reads", 1)
+        par = step.get("par")
+        if isinstance(par, int) and par > 1:
+            yield _with_field(spec, k, "par", 1)
+        if isinstance(par, list) and any(p > 1 for p in par):
+            yield _with_field(spec, k, "par", [1] * len(par))
+        if step.get("inner_par", 0) > 1:
+            yield _with_field(spec, k, "inner_par", 1)
+        if step.get("outer", 0) > 1:
+            yield _with_field(spec, k, "outer", 1)
+        if step.get("tile"):
+            yield _with_field(spec, k, "tile", None)
+        if step.get("trip", 0) > 1:
+            yield _with_field(spec, k, "trip", step["trip"] - 1)
+        if step.get("bins", 0) > 4:
+            yield _with_field(spec, k, "bins", 4)
+        if step.get("mean_seg", 0) > 2:
+            yield _with_field(spec, k, "mean_seg", 2)
+        if step.get("consume"):
+            yield _with_field(spec, k, "consume", False)
+
+
+def shrink_spec(spec: dict,
+                max_attempts: int = 300) -> Tuple[dict, OracleResult]:
+    """Minimize a failing spec; returns ``(smallest spec, its result)``.
+
+    Greedy first-improvement descent: each round re-enumerates the
+    candidates of the current spec and keeps the first one that fails
+    with the same signature.  A spec that does not fail is returned
+    unchanged.  ``max_attempts`` bounds total oracle invocations.
+    """
+    base = run_oracle(spec)
+    if base.ok:
+        return spec, base
+    signature = failure_signature(base)
+    current, current_result = spec, base
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cand in _candidates(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            result = run_oracle(cand)
+            if not result.ok and failure_signature(result) == signature:
+                current, current_result = cand, result
+                improved = True
+                break
+    return current, current_result

@@ -42,6 +42,14 @@ class ChainEnumerator:
                  evaluate: Callable[[E.Expr, dict], int],
                  base_bindings: Optional[dict] = None,
                  max_total: int = 50_000_000):
+        for axis, counter in enumerate(chain.counters):
+            # _advance only checks ``cur < hi``: a zero step would spin
+            # forever and a negative one would walk away from the bound,
+            # so reject both before any iteration state exists
+            if counter.step <= 0:
+                raise SimulationError(
+                    f"counter chain dim {axis} has non-positive step "
+                    f"{counter.step}; steps must be >= 1")
         self.chain = chain
         self.evaluate = evaluate
         self.base = dict(base_bindings or {})
@@ -113,15 +121,18 @@ class ChainEnumerator:
         for _ in range(counter.par):
             if value >= self._hi[inner]:
                 break
+            if self._emitted + len(lanes) >= self.max_total:
+                # trip before the over-limit batch exists: a runaway
+                # data-dependent bound must not commit partial state
+                raise SimulationError(
+                    "counter chain exceeded max_total="
+                    f"{self.max_total} iterations; runaway dynamic "
+                    "bound?")
             lane = dict(outer)
             lane[self.chain.indices[inner]] = value
             lanes.append(lane)
             value += counter.step
         self._emitted += len(lanes)
-        if self._emitted > self.max_total:
-            raise SimulationError(
-                "counter chain emitted too many iterations "
-                f"({self._emitted}); runaway dynamic bound?")
         # position after the batch; wrap into outer dims when exhausted
         self._cur[inner] = value
         if value >= self._hi[inner]:

@@ -219,17 +219,23 @@ class InnerComputeSim(_LeafCommon):
         FIFO full (the batch must be retried unchanged).
         """
         ctx = self._ctx_cur
-        # pre-check FIFO room for the worst case (all lanes emit)
+        # pre-check FIFO room for the worst case (all lanes emit);
+        # demand is summed per FIFO — several EmitStmts feeding the same
+        # FIFO each need batch.lanes words, and checking them one at a
+        # time would pass with room for only one statement's worth
+        demand: Dict[str, int] = {}
         for stmt in self.leaf.stmts:
             if isinstance(stmt, EmitStmt):
-                fifo = self.fifos[stmt.fifo.name]
-                if not fifo.can_push(batch.lanes):
-                    fifo.full_stalls += 1
-                    self._blocked_fifo = fifo
-                    if self.trace is not None:
-                        self.trace.emit(EventKind.FIFO_FULL,
-                                        stmt.fifo.name, (batch.lanes,))
-                    return None
+                demand[stmt.fifo.name] = (demand.get(stmt.fifo.name, 0)
+                                          + batch.lanes)
+        for name, needed in demand.items():
+            fifo = self.fifos[name]
+            if not fifo.can_push(needed):
+                fifo.full_stalls += 1
+                self._blocked_fifo = fifo
+                if self.trace is not None:
+                    self.trace.emit(EventKind.FIFO_FULL, name, (needed,))
+                return None
 
         write_addrs: Dict[str, List[int]] = {}
         lane_caches = [dict() for _ in batch.lane_bindings]

@@ -71,7 +71,7 @@ def test_cache_off_still_compiles():
     assert art.app == "gemm"
 
 
-def test_corrupt_entry_is_a_miss(tmp_path):
+def test_corrupt_entry_is_dropped_and_recompiled(tmp_path):
     cache = CompileCache(tmp_path)
     art, _ = compile_app_cached("gemm", "tiny", cache=cache)
     cache.path_for(art.key).write_text("{this is not json")
@@ -80,8 +80,81 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     art2, outcome = compile_app_cached("gemm", "tiny", cache=fresh)
     assert outcome == "miss"  # corrupt entry dropped, recompiled
     assert art2.content_hash == art.content_hash
+    # corruption is accounted apart from plain misses
+    assert (fresh.stats.corrupt, fresh.stats.misses) == (1, 0)
+    assert fresh.stats.lookups == 1
+    assert "1 corrupt" in fresh.stats.summary()
     _, outcome3 = compile_app_cached("gemm", "tiny", cache=fresh)
     assert outcome3 == "hit"  # ... and the rewritten entry is good
+
+
+@pytest.mark.parametrize("payload", [
+    b"",                               # truncated write
+    b"\xff\xfe garbage",               # not UTF-8
+    b"[1, 2, 3]",                      # JSON, wrong shape
+    b'{"schema": 1}',                  # missing fields
+])
+def test_undecodable_payloads_count_as_corrupt(tmp_path, payload):
+    cache = CompileCache(tmp_path)
+    art, _ = compile_app_cached("gemm", "tiny", cache=cache)
+    entry = cache.path_for(art.key)
+    entry.write_bytes(payload)
+    fresh = CompileCache(tmp_path)
+    assert fresh.get(art.key) is None
+    assert fresh.stats.corrupt == 1
+    assert not entry.exists()  # dropped to make room for a re-put
+
+
+def test_transient_read_error_is_miss_without_unlink(tmp_path,
+                                                     monkeypatch):
+    cache = CompileCache(tmp_path)
+    art, _ = compile_app_cached("gemm", "tiny", cache=cache)
+    entry = cache.path_for(art.key)
+
+    from pathlib import Path
+    real_read = Path.read_bytes
+
+    def flaky_read(self):
+        if self == entry:
+            raise OSError(5, "Input/output error")
+        return real_read(self)
+
+    fresh = CompileCache(tmp_path)
+    monkeypatch.setattr(Path, "read_bytes", flaky_read)
+    assert fresh.get(art.key) is None
+    assert (fresh.stats.misses, fresh.stats.corrupt) == (1, 0)
+    monkeypatch.undo()
+    # the entry survived the transient failure and still hits
+    assert entry.exists()
+    assert fresh.get(art.key) is not None
+    assert fresh.stats.hits == 1
+
+
+def test_programming_bug_in_decode_propagates(tmp_path, monkeypatch):
+    """A bug inside Bitstream.from_dict must surface, not silently
+    degrade every lookup into a recompile."""
+    cache = CompileCache(tmp_path)
+    art, _ = compile_app_cached("gemm", "tiny", cache=cache)
+
+    def broken_from_dict(data):
+        raise AttributeError("'NoneType' object has no attribute 'x'")
+
+    fresh = CompileCache(tmp_path)
+    monkeypatch.setattr(Bitstream, "from_dict",
+                        staticmethod(broken_from_dict))
+    with pytest.raises(AttributeError):
+        fresh.get(art.key)
+    # ... and the (healthy) entry was not unlinked
+    assert cache.path_for(art.key).exists()
+
+
+def test_cache_stats_merge_folds_corrupt(tmp_path):
+    from repro.bitstream.cache import CacheStats
+    a = CacheStats(hits=2, misses=1, stores=1, corrupt=1)
+    b = CacheStats(hits=1, misses=0, stores=0, corrupt=2)
+    a.merge(b)
+    assert (a.hits, a.misses, a.corrupt) == (3, 1, 3)
+    assert a.lookups == 7
 
 
 def test_schema_mismatch_rejected():

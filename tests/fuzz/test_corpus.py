@@ -1,0 +1,34 @@
+"""Replay every checked-in fuzz corpus entry through the oracle.
+
+Each ``tests/fuzz/corpus/*.json`` file is a shrunk spec that once
+crashed or diverged; the bug it found is fixed, so every entry must now
+pass the full three-way oracle. A new failure here means a regression
+in whatever that spec exercises.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_spec, run_oracle
+from repro.fuzz.harness import replay_corpus
+
+CORPUS = Path(__file__).parent / "corpus"
+
+_entries = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert _entries, "fuzz corpus should hold at least one regression"
+
+
+@pytest.mark.parametrize("path", _entries, ids=lambda p: p.stem)
+def test_corpus_entry_passes_oracle(path):
+    result = run_oracle(load_spec(path), trip_error=True)
+    assert result.ok, f"{path.name}: {result.describe()}"
+
+
+def test_replay_corpus_helper_covers_all_entries():
+    results = replay_corpus(CORPUS)
+    assert [p for p, _ in results] == _entries
+    assert all(r.ok for _, r in results)

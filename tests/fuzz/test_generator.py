@@ -1,0 +1,82 @@
+"""Generator determinism and spec round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.fuzz import (SPEC_VERSION, build_program, gen_spec, load_spec,
+                        save_spec, spec_name)
+
+
+def test_gen_spec_is_deterministic():
+    assert gen_spec(7) == gen_spec(7)
+    assert gen_spec(7) != gen_spec(8)
+
+
+def test_spec_is_json_round_trippable(tmp_path):
+    spec = gen_spec(3)
+    path = save_spec(spec, tmp_path / "fuzz_3.json")
+    assert load_spec(path) == spec
+    # and plain json agrees (no numpy scalars leaked into the spec)
+    assert json.loads(json.dumps(spec)) == spec
+
+
+def test_build_program_is_deterministic():
+    spec = gen_spec(5)
+    prog_a, outs_a = build_program(spec)
+    prog_b, outs_b = build_program(spec)
+    assert outs_a == outs_b
+    assert list(prog_a.arrays) == list(prog_b.arrays)
+    for name, a in prog_a.arrays.items():
+        b = prog_b.arrays[name]
+        if a.data is not None:
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_build_rejects_unknown_version():
+    spec = gen_spec(0)
+    spec["version"] = SPEC_VERSION + 1
+    with pytest.raises(PatternError, match="spec version"):
+        build_program(spec)
+
+
+def test_build_rejects_unknown_kind():
+    spec = {"version": SPEC_VERSION, "seed": 0, "n": 16,
+            "steps": [{"kind": "warp_drive"}]}
+    with pytest.raises(PatternError, match="unknown fuzz step kind"):
+        build_program(spec)
+
+
+def test_build_rejects_empty_steps():
+    spec = {"version": SPEC_VERSION, "seed": 0, "n": 16, "steps": []}
+    with pytest.raises(PatternError, match="no outputs"):
+        build_program(spec)
+
+
+def test_spec_name_uses_seed():
+    assert spec_name(gen_spec(12)) == "fuzz_12"
+
+
+def test_every_kind_is_reachable():
+    """The first 60 seeds between them cover every step kind."""
+    seen = set()
+    for seed in range(60):
+        for step in gen_spec(seed)["steps"]:
+            seen.add(step["kind"])
+    assert seen == {"map", "map2d", "fold", "map_fold", "segfold",
+                    "filter", "hash_reduce", "scatter", "loop"}
+
+
+def test_scatter_first_step_does_not_collide_with_base_input():
+    """Regression: a scatter at step 0 once declared a second 'in0'."""
+    spec = {"version": SPEC_VERSION, "seed": 0, "n": 16,
+            "steps": [{"kind": "scatter", "m": 4, "stride": 5,
+                       "offset": 1, "depth": 1, "expr_seed": 1,
+                       "data_seed": 2}]}
+    # duplicate names raise PatternError at registration, so simply
+    # building is the assertion
+    program, outputs = build_program(spec)
+    assert "in0" in program.arrays and "scat0" in program.arrays
+    assert outputs == ["out0"]

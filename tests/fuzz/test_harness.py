@@ -1,0 +1,79 @@
+"""Campaign driver and ``repro fuzz`` CLI plumbing."""
+
+import json
+
+from repro.cli import main
+from repro.fuzz import SPEC_VERSION, run_campaign
+from repro.fuzz.harness import FuzzCampaign
+
+
+def test_campaign_all_ok():
+    campaign = run_campaign(0, 3)
+    assert campaign.ok == 3
+    assert campaign.divergences == 0
+    assert campaign.total_cycles > 0
+    assert "3 programs from seed 0: 3 ok, 0 divergent" in \
+        campaign.summary()
+
+
+def test_campaign_records_and_saves_failures(tmp_path, monkeypatch):
+    """Force one failing seed; the campaign must shrink it and write
+    both the original and minimized specs."""
+    import repro.fuzz.harness as harness_mod
+
+    bad_spec = {"version": SPEC_VERSION, "seed": 7, "n": 256,
+                "steps": [
+                    {"kind": "map", "reads": 1, "depth": 1,
+                     "expr_seed": 1, "data_seed": 2, "par": 1},
+                    {"kind": "warp_drive"},
+                ]}
+    real_gen = harness_mod.gen_spec
+    monkeypatch.setattr(
+        harness_mod, "gen_spec",
+        lambda seed: bad_spec if seed == 7 else real_gen(seed))
+
+    notes = []
+    campaign = run_campaign(6, 3, shrink=True, save_dir=tmp_path,
+                            progress=notes.append)
+    assert campaign.ok == 2
+    assert campaign.divergences == 1
+    assert any("FAIL" in note for note in notes)
+    assert any("shrunk to" in note for note in notes)
+    original = json.loads((tmp_path / "fuzz_7.json").read_text())
+    minimized = json.loads((tmp_path / "fuzz_7.min.json").read_text())
+    assert original == bad_spec
+    assert len(minimized["steps"]) == 1
+    assert minimized["steps"][0]["kind"] == "warp_drive"
+    assert "1 divergent" in campaign.summary()
+
+
+def test_cli_fuzz_ok(capsys):
+    assert main(["fuzz", "--seed", "0", "--runs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 ok, 0 divergent" in out
+
+
+def test_cli_fuzz_replays_corpus(capsys):
+    assert main(["fuzz", "--seed", "0", "--runs", "1",
+                 "--corpus", "tests/fuzz/corpus"]) == 0
+    out = capsys.readouterr().out
+    assert "specs replayed, 0 failing" in out
+
+
+def test_cli_fuzz_exit_code_on_divergence(monkeypatch, capsys):
+    import repro.fuzz.harness as harness_mod
+
+    bad_spec = {"version": SPEC_VERSION, "seed": 0, "n": 16,
+                "steps": [{"kind": "warp_drive"}]}
+    monkeypatch.setattr(harness_mod, "gen_spec", lambda seed: bad_spec)
+    assert main(["fuzz", "--seed", "0", "--runs", "1"]) == 1
+    assert "1 divergent" in capsys.readouterr().out
+
+
+def test_summary_mentions_each_failure():
+    campaign = FuzzCampaign(seed=0, runs=1)
+    from repro.fuzz.oracle import OracleResult
+    campaign.failures.append(OracleResult(
+        spec={"seed": 9}, ok=False, stage="sim-event",
+        error="DeadlockError: no forward progress"))
+    assert "fuzz_9: FAIL at sim-event" in campaign.summary()

@@ -1,0 +1,110 @@
+"""Three-way oracle behaviour: passes on good seeds, catches injected
+divergence, and reports build failures with the right stage."""
+
+import numpy as np
+import pytest
+
+from repro.fuzz import SPEC_VERSION, gen_spec, run_oracle
+from repro.fuzz.oracle import OracleResult
+
+
+# cheap but structurally varied seeds (cover several step kinds)
+@pytest.mark.parametrize("seed", [0, 3, 4, 17, 23])
+def test_known_good_seeds_pass(seed):
+    result = run_oracle(gen_spec(seed), trip_error=True)
+    assert result.ok, result.describe()
+    assert result.cycles > 0
+    assert "OK" in result.describe()
+
+
+def test_build_failure_is_reported_at_build_stage():
+    spec = {"version": SPEC_VERSION, "seed": 99, "n": 16,
+            "steps": [{"kind": "no_such_kind"}]}
+    result = run_oracle(spec)
+    assert not result.ok
+    assert result.stage == "build"
+    assert "PatternError" in result.error
+    assert "FAIL at build" in result.describe()
+
+
+def test_injected_executor_divergence_is_caught(monkeypatch):
+    """Corrupt the executor's answer; the oracle must flag both
+    sim-vs-executor legs (and only those)."""
+    import repro.fuzz.oracle as oracle_mod
+
+    real = oracle_mod._expected_images
+
+    def skewed(program, names):
+        images = real(program, names)
+        for arr in images.values():
+            if arr.dtype.kind == "f" and arr.size:
+                arr.flat[0] += 1.0  # far outside rtol/atol
+                break
+        return images
+
+    monkeypatch.setattr(oracle_mod, "_expected_images", skewed)
+    result = run_oracle(gen_spec(0))
+    assert not result.ok
+    assert result.stage == "compare"
+    legs = {m.split(":", 1)[0] for m in result.mismatches}
+    assert legs == {"dense-vs-executor", "event-vs-executor"}
+
+
+def test_injected_stats_divergence_is_caught(monkeypatch):
+    """Skew the event scheduler's stats; the oracle must flag stats
+    inequality even when memory images agree."""
+    import repro.fuzz.oracle as oracle_mod
+
+    real_asdict = oracle_mod.dataclasses.asdict
+    calls = []
+
+    def skewed(obj):
+        data = real_asdict(obj)
+        calls.append(data)
+        if len(calls) == 2:  # second call = event stats
+            data["cycles"] = data["cycles"] + 1
+        return data
+
+    monkeypatch.setattr(oracle_mod.dataclasses, "asdict", skewed)
+    result = run_oracle(gen_spec(0))
+    assert not result.ok
+    assert result.mismatches == ["stats:cycles"]
+
+
+def test_trip_error_reraises_unexpected_exceptions(monkeypatch):
+    import repro.fuzz.oracle as oracle_mod
+
+    def boom(program, names):
+        raise RuntimeError("synthetic crash")
+
+    monkeypatch.setattr(oracle_mod, "_expected_images", boom)
+    spec = gen_spec(0)
+    # folded by default ...
+    result = run_oracle(spec)
+    assert not result.ok and "RuntimeError" in result.error
+    assert result.stage == "execute"
+    # ... raised under trip_error
+    with pytest.raises(RuntimeError, match="synthetic crash"):
+        run_oracle(spec, trip_error=True)
+
+
+def test_int_outputs_compared_exactly():
+    want = np.array([1, 2, 3], dtype=np.int32)
+    got = want.copy()
+    got[1] += 1
+    from repro.fuzz.oracle import _compare_output
+    mismatches = []
+    _compare_output("c", want, got, "dense-vs-executor", mismatches)
+    assert mismatches == ["dense-vs-executor:c"]
+    mismatches.clear()
+    _compare_output("c", want, want.copy(), "dense-vs-executor",
+                    mismatches)
+    assert mismatches == []
+
+
+def test_describe_lists_mismatches():
+    result = OracleResult(spec={"seed": 5}, ok=False, stage="compare",
+                          mismatches=["dense-vs-event:x", "stats:cycles"])
+    text = result.describe()
+    assert "fuzz_5" in text
+    assert "dense-vs-event:x" in text and "stats:cycles" in text

@@ -1,0 +1,94 @@
+"""Shrinker behaviour: signature extraction, candidate ordering, and
+greedy minimization of a synthetic failure."""
+
+import copy
+
+import pytest
+
+from repro.fuzz import SPEC_VERSION, failure_signature, gen_spec, shrink_spec
+from repro.fuzz.oracle import OracleResult
+from repro.fuzz.shrink import _candidates
+
+
+def test_signature_classes():
+    ok = OracleResult(spec={}, ok=True)
+    assert failure_signature(ok) == ("ok",)
+    err = OracleResult(spec={}, ok=False, stage="build",
+                       error="PatternError: duplicate array name 'in0'")
+    assert failure_signature(err) == ("build", "PatternError")
+    cmp_ = OracleResult(spec={}, ok=False, stage="compare",
+                        mismatches=["dense-vs-event:a",
+                                    "dense-vs-event:b",
+                                    "stats:cycles"])
+    assert failure_signature(cmp_) == (
+        "compare", ("dense-vs-event", "stats"))
+
+
+def test_candidates_do_not_mutate_the_spec():
+    spec = gen_spec(17)
+    frozen = copy.deepcopy(spec)
+    for cand in _candidates(spec):
+        assert cand is not spec
+    assert spec == frozen
+
+
+def test_candidates_drop_steps_last_first():
+    spec = gen_spec(17)
+    assert len(spec["steps"]) > 1
+    cands = list(_candidates(spec))
+    first = cands[0]
+    assert len(first["steps"]) == len(spec["steps"]) - 1
+    # the *last* step went first (consumers before producers)
+    assert first["steps"] == spec["steps"][:-1]
+
+
+def test_shrink_returns_passing_spec_unchanged():
+    spec = gen_spec(0)
+    mini, result = shrink_spec(spec)
+    assert result.ok
+    assert mini == spec
+
+
+def test_shrink_minimizes_synthetic_failure():
+    """A spec with an unbuildable step amid healthy ones must shrink to
+    (close to) just the broken step at the minimum domain size."""
+    bad_step = {"kind": "warp_drive"}
+    spec = {"version": SPEC_VERSION, "seed": 1234, "n": 256,
+            "steps": [
+                {"kind": "map", "reads": 2, "depth": 3,
+                 "expr_seed": 1, "data_seed": 2, "par": 8},
+                bad_step,
+                {"kind": "fold", "combine": "sum", "depth": 2,
+                 "expr_seed": 3, "data_seed": 4, "par": 4,
+                 "outer": 2},
+            ]}
+    mini, result = shrink_spec(spec)
+    assert not result.ok
+    assert failure_signature(result) == ("build", "PatternError")
+    assert mini["steps"] == [bad_step]
+    assert mini["n"] == 16
+
+
+def test_shrink_respects_max_attempts():
+    bad = {"version": SPEC_VERSION, "seed": 1, "n": 256,
+           "steps": [{"kind": "warp_drive"},
+                     {"kind": "also_bad"}]}
+    mini, result = shrink_spec(bad, max_attempts=1)
+    assert not result.ok
+    # one attempt only tried dropping the last step
+    assert len(mini["steps"]) <= 2
+
+
+@pytest.mark.parametrize("field,value,expect", [
+    ("par", 8, 1),
+    ("par", [1, 8], [1, 1]),
+    ("depth", 3, 2),
+])
+def test_knob_candidates(field, value, expect):
+    spec = {"version": SPEC_VERSION, "seed": 0, "n": 16,
+            "steps": [{"kind": "map", "reads": 1, "depth": 1,
+                       "expr_seed": 1, "data_seed": 2, "par": 1,
+                       field: value}]}
+    produced = [c["steps"][0][field] for c in _candidates(spec)
+                if c["steps"][0].get(field) != value]
+    assert expect in produced
