@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import uuid
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -252,12 +254,29 @@ class Bitstream:
 
     # -- files --------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the artifact to ``path`` (canonical JSON)."""
+        """Write the artifact to ``path`` (canonical JSON, atomic).
+
+        The temp name is unique per process, so concurrent writers of
+        the same path (e.g. pool workers all missing on one cache key)
+        never clobber each other's half-written temp file; each rename
+        is atomic and the bytes are identical, so whichever lands last
+        wins silently.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(self.to_bytes())
-        tmp.replace(path)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            tmp.write_bytes(self.to_bytes())
+            tmp.replace(path)
+        finally:
+            # a failed rename (e.g. ENOSPC midway) must not litter the
+            # cache directory with temp files
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
         return path
 
     @staticmethod

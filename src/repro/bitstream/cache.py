@@ -59,6 +59,12 @@ class CacheStats:
         self.stores += other.stores
         self.corrupt += other.corrupt
 
+    def to_dict(self) -> dict:
+        """Counters as a plain dict (JSON-able snapshot)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt,
+                "lookups": self.lookups}
+
     def summary(self) -> str:
         """One-line report, e.g. ``3 hits, 1 miss (1 compiled)``."""
         compiled = self.misses + self.corrupt
@@ -122,11 +128,27 @@ class CompileCache:
         return artifact
 
     def put(self, artifact: Bitstream) -> Path:
-        """Store an artifact under its own compile key (atomic)."""
+        """Store an artifact under its own compile key (atomic).
+
+        Safe under multi-process races: concurrent writers of the same
+        key each write a uniquely named temp file and atomically rename
+        it into place — the artifact bytes are canonical, so the second
+        rename wins silently with identical content.  Each ``put`` call
+        counts exactly one store regardless of how the race resolves.
+        """
         path = self.path_for(artifact.key)
         artifact.save(path)
         self.stats.stores += 1
         return path
+
+    def stats_snapshot(self) -> dict:
+        """JSON-able counter snapshot (for pollers like ``/statsz``).
+
+        A copy, not a live view: mutating the returned dict cannot
+        corrupt the cache's own accounting, and callers never touch
+        private fields.
+        """
+        return self.stats.to_dict()
 
     def entries(self) -> int:
         """Number of artifacts currently stored."""

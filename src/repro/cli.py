@@ -32,6 +32,14 @@ Commands
 ``figure7 PARAM``
     Run one Figure 7 sweep (stages, regs_per_stage, scalar_in,
     scalar_out, vector_in, vector_out).
+``serve [--port N] [--jobs N] [--queue-depth N] [--cache-dir DIR]``
+    Run the async compile-and-simulate HTTP service (``repro.serve``):
+    clients POST program specs, registry apps, or precompiled artifact
+    hashes and get back SimStats, stall attribution, and trace URLs.
+``loadtest [--requests N] [--concurrency N] [--spawn]``
+    Replay a deterministic mix of concurrent requests against a server
+    (or a self-spawned one with ``--spawn``) and report p50/p99
+    latency, throughput, and coalesce/cache-hit rates.
 """
 
 from __future__ import annotations
@@ -321,6 +329,17 @@ def _cmd_fuzz(args) -> int:
     return status
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ReproService, ServeConfig, run_server
+    config = ServeConfig(
+        jobs=args.jobs, queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        data_dir=args.data_dir, timeout_s=args.timeout,
+        result_cache=args.result_cache)
+    return run_server(ReproService(config), host=args.host,
+                      port=args.port)
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -451,6 +470,80 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None, metavar="DIR",
                       help="also replay the checked-in regression "
                            "corpus (default dir: tests/fuzz/corpus)")
+    serve = sub.add_parser(
+        "serve", help="run the compile-and-simulate HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--jobs", type=_positive_int, default=2,
+                       metavar="N",
+                       help="simulator worker processes (default 2)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=64,
+                       metavar="N",
+                       help="jobs allowed to wait for a worker before "
+                            "new submissions get 429 (default 64)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared compile cache (default "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="compile every miss from scratch; never "
+                            "touch the artifact cache")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="artifact + trace store (default "
+                            "<cache root>/serve)")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       metavar="S",
+                       help="per-job wall-clock timeout in seconds "
+                            "(default 300)")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       metavar="N",
+                       help="completed {job, params} results to keep "
+                            "for exact replay (0 disables; default "
+                            "256)")
+    load = sub.add_parser(
+        "loadtest", help="replay concurrent requests against a server")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=8642)
+    load.add_argument("--spawn", action="store_true",
+                      help="fork a `repro serve` subprocess on a free "
+                           "port for the duration of the run")
+    load.add_argument("--requests", type=_positive_int, default=200,
+                      metavar="N",
+                      help="total requests to replay (default 200)")
+    load.add_argument("--concurrency", type=_positive_int, default=16,
+                      metavar="N",
+                      help="concurrent client connections (default 16)")
+    load.add_argument("--unique", type=_positive_int, default=None,
+                      metavar="N",
+                      help="distinct specs in the mix (default: "
+                           "requests/5; the rest are duplicates that "
+                           "exercise coalescing and caches)")
+    load.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="request-mix seed (default 0)")
+    load.add_argument("--trace-every", type=int, default=0,
+                      metavar="N",
+                      help="request a stall-attribution trace on every "
+                           "N-th request (0 disables)")
+    load.add_argument("--jobs", type=_positive_int, default=2,
+                      metavar="N", help="--spawn: server worker count")
+    load.add_argument("--queue-depth", type=_positive_int, default=64,
+                      metavar="N", help="--spawn: server queue depth")
+    load.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="--spawn: server compile cache (default: a "
+                           "throwaway temp dir)")
+    load.add_argument("--data-dir", default=None, metavar="DIR",
+                      help="--spawn: server artifact store (default: a "
+                           "throwaway temp dir)")
+    load.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the JSON report here")
+    load.add_argument("--baseline", default=None, metavar="PATH",
+                      help="compare against a committed report "
+                           "(e.g. benchmarks/serve_baseline.json) and "
+                           "fail on regression")
+    load.add_argument("--threshold", type=float, default=0.5,
+                      metavar="F",
+                      help="allowed fractional latency/throughput "
+                           "regression vs the baseline (default 0.5)")
     return parser
 
 
@@ -474,6 +567,11 @@ def main(argv=None) -> int:
         return _cmd_figure7(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        from repro.eval.loadtest import cmd_loadtest
+        return cmd_loadtest(args)
     return 2
 
 

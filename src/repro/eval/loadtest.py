@@ -1,0 +1,349 @@
+"""``repro loadtest`` — concurrent replay against a running server.
+
+The harness builds a deterministic request mix from the fuzz generator
+(``--unique`` distinct specs, padded to ``--requests`` with duplicates,
+order shuffled by ``--seed``), fans it out over ``--concurrency``
+persistent connections, and reports what a serving deployment cares
+about: p50/p99/mean latency (exact, from raw client-side samples — the
+server's ``/statsz`` histogram is bucketed), throughput, error counts,
+and — from the ``/statsz`` delta across the run — how much work
+coalescing and the compile/result caches actually saved.
+
+Backpressure is part of the protocol, not an error: a 429 is retried
+after the server's ``Retry-After`` hint and counted separately.  With
+``--spawn`` the harness forks its own ``repro serve`` subprocess on a
+free port, waits for ``/healthz``, replays, and tears it down — the CI
+``serve-smoke`` job and the committed ``benchmarks/serve_baseline.json``
+both use that mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.eval.report import format_table
+from repro.fuzz.generator import gen_spec
+from repro.serve.client import ServeClient, sync_request, wait_healthy
+
+#: a 429'd request is retried at most this many times before counting
+#: as an error
+MAX_RETRIES = 50
+
+
+# ---------------------------------------------------------------------------
+# Request mix
+# ---------------------------------------------------------------------------
+
+
+def make_requests(total: int, unique: int, seed: int = 0,
+                  trace_every: int = 0) -> List[dict]:
+    """A deterministic request mix: ``unique`` distinct specs, padded
+    to ``total`` with duplicates, deterministically shuffled."""
+    unique = max(1, min(unique, total))
+    specs = [gen_spec(seed * 100_000 + k) for k in range(unique)]
+    rng = np.random.default_rng(seed)
+    bodies = []
+    for k in range(total):
+        spec = specs[k] if k < unique else \
+            specs[int(rng.integers(unique))]
+        body: Dict = {"spec": spec}
+        if trace_every and k % trace_every == 0:
+            body["params"] = {"trace": True}
+        bodies.append(body)
+    order = rng.permutation(total)
+    return [bodies[int(k)] for k in order]
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+async def _worker(client: ServeClient, queue: "asyncio.Queue",
+                  records: List[dict]) -> None:
+    while True:
+        item = await queue.get()
+        if item is None:
+            queue.task_done()
+            break
+        body = item
+        started = time.perf_counter()
+        status, result, retries = None, None, 0
+        try:
+            while True:
+                status, headers, result = await client.request(
+                    "POST", "/simulate", body)
+                if status != 429 or retries >= MAX_RETRIES:
+                    break
+                retries += 1
+                delay = 0.05
+                if isinstance(result, dict):
+                    delay = min(5.0, float(
+                        result.get("retry_after_s", 1)) * 0.1)
+                await asyncio.sleep(delay)
+        except (OSError, asyncio.IncompleteReadError) as err:
+            status, result = -1, {"error": str(err)}
+        records.append({
+            "ms": (time.perf_counter() - started) * 1e3,
+            "status": status,
+            "retries": retries,
+            "served": (result.get("served", "fresh")
+                       if isinstance(result, dict) else "error"),
+        })
+        queue.task_done()
+
+
+async def _replay(host: str, port: int, bodies: List[dict],
+                  concurrency: int) -> List[dict]:
+    queue: "asyncio.Queue" = asyncio.Queue()
+    for body in bodies:
+        queue.put_nowait(body)
+    clients = [ServeClient(host, port) for _ in range(concurrency)]
+    for _ in clients:
+        queue.put_nowait(None)
+    records: List[dict] = []
+    tasks = [asyncio.ensure_future(_worker(c, queue, records))
+             for c in clients]
+    await asyncio.gather(*tasks)
+    for client in clients:
+        await client.close()
+    return records
+
+
+def _percentile(samples: List[float], p: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = (len(ordered) - 1) * p / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def run_loadtest(host: str, port: int, requests: int = 200,
+                 concurrency: int = 16, unique: int = 0, seed: int = 0,
+                 trace_every: int = 0) -> dict:
+    """Replay a request mix and assemble the report dict."""
+    unique = unique or max(1, requests // 5)
+    bodies = make_requests(requests, unique, seed,
+                           trace_every=trace_every)
+    _, before = sync_request(host, port, "GET", "/statsz")
+    started = time.perf_counter()
+    records = asyncio.run(_replay(host, port, bodies, concurrency))
+    wall_s = time.perf_counter() - started
+    _, after = sync_request(host, port, "GET", "/statsz")
+    oks = [r for r in records if r["status"] == 200]
+    latencies = [r["ms"] for r in oks]
+
+    def delta(*path) -> int:
+        b, a = before, after
+        for name in path:
+            b = b.get(name, 0) if isinstance(b, dict) else 0
+            a = a.get(name, 0) if isinstance(a, dict) else 0
+        return (a or 0) - (b or 0)
+
+    return {
+        "requests": requests,
+        "unique_specs": unique,
+        "concurrency": concurrency,
+        "seed": seed,
+        "ok": len(oks),
+        "errors": len(records) - len(oks),
+        "backpressure_retries": sum(r["retries"] for r in records),
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(len(records) / wall_s, 2),
+        "p50_ms": round(_percentile(latencies, 50), 3),
+        "p90_ms": round(_percentile(latencies, 90), 3),
+        "p99_ms": round(_percentile(latencies, 99), 3),
+        "mean_ms": round(sum(latencies) / len(latencies), 3)
+        if latencies else 0.0,
+        "server": {
+            "coalesced": delta("requests", "coalesced"),
+            "result_cache_hits": delta("requests",
+                                       "result_cache_hits"),
+            "compiles": delta("work", "compiles"),
+            "sims": delta("work", "sims"),
+            "cache_hits": delta("compile_cache", "hits"),
+            "cache_misses": delta("compile_cache", "misses"),
+            "rejected": delta("requests", "rejected"),
+            "timeouts": delta("requests", "timeouts"),
+        },
+    }
+
+
+def render(report: dict) -> str:
+    """Human-facing summary table."""
+    server = report["server"]
+    rows = [
+        ["requests", report["requests"],
+         f"{report['unique_specs']} unique specs, "
+         f"concurrency {report['concurrency']}"],
+        ["ok / errors", f"{report['ok']} / {report['errors']}",
+         f"{report['backpressure_retries']} backpressure retries"],
+        ["throughput", f"{report['throughput_rps']} req/s",
+         f"{report['wall_s']} s wall"],
+        ["latency p50", f"{report['p50_ms']} ms",
+         f"mean {report['mean_ms']} ms"],
+        ["latency p99", f"{report['p99_ms']} ms",
+         f"p90 {report['p90_ms']} ms"],
+        ["coalesced", server["coalesced"],
+         f"result-cache hits {server['result_cache_hits']}"],
+        ["compiles", server["compiles"],
+         f"cache {server['cache_hits']} hits / "
+         f"{server['cache_misses']} misses"],
+        ["sims", server["sims"],
+         f"rejected {server['rejected']}, "
+         f"timeouts {server['timeouts']}"],
+    ]
+    return format_table(["metric", "value", "detail"], rows,
+                        title="repro loadtest")
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison (mirrors repro bench --baseline)
+# ---------------------------------------------------------------------------
+
+
+def compare(current: dict, baseline: dict,
+            threshold: float = 0.5) -> List[str]:
+    """Serving-latency regressions vs a committed baseline.
+
+    Correctness counters must not regress at all; latency/throughput
+    may drift by ``threshold`` (wall-clock noise across machines is
+    large, hence the permissive default).
+    """
+    problems = []
+    if current["errors"]:
+        problems.append(f"{current['errors']} failed requests "
+                        f"(baseline expects 0)")
+    for key, worse_is_higher in (("p50_ms", True), ("p99_ms", True),
+                                 ("throughput_rps", False)):
+        was, now = baseline.get(key), current.get(key)
+        if not was or not now:
+            continue
+        ratio = (now / was) if worse_is_higher else (was / now)
+        if ratio > 1 + threshold:
+            problems.append(
+                f"{key}: {now} vs baseline {was} "
+                f"({100 * (ratio - 1):.0f}% worse, "
+                f"allowed {100 * threshold:.0f}%)")
+    base_server = baseline.get("server", {})
+    if base_server.get("coalesced", 0) + base_server.get(
+            "result_cache_hits", 0) > 0:
+        saved = (current["server"]["coalesced"]
+                 + current["server"]["result_cache_hits"])
+        if saved == 0:
+            problems.append(
+                "no request ever coalesced or hit the result cache "
+                "(baseline run saved work; dedup machinery regressed?)")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Server spawning (CI / baseline mode)
+# ---------------------------------------------------------------------------
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@contextmanager
+def spawned_server(jobs: int, queue_depth: int,
+                   cache_dir: Optional[str] = None,
+                   data_dir: Optional[str] = None):
+    """Run ``repro serve`` as a subprocess; yields ``(host, port)``."""
+    host, port = "127.0.0.1", _free_port()
+    hold = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+    cache_dir = cache_dir or os.path.join(hold.name, "cache")
+    data_dir = data_dir or os.path.join(hold.name, "data")
+    argv = [sys.executable, "-m", "repro", "serve", "--host", host,
+            "--port", str(port), "--jobs", str(jobs),
+            "--queue-depth", str(queue_depth),
+            "--cache-dir", cache_dir, "--data-dir", data_dir]
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(argv, env=env)
+    try:
+        if not wait_healthy(host, port, timeout_s=60.0):
+            raise RuntimeError(
+                f"spawned server on port {port} never became healthy")
+        yield host, port
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+        hold.cleanup()
+
+
+# ---------------------------------------------------------------------------
+# CLI entry point
+# ---------------------------------------------------------------------------
+
+
+def cmd_loadtest(args) -> int:
+    """``repro loadtest`` behind the CLI."""
+    if args.spawn:
+        with spawned_server(args.jobs, args.queue_depth,
+                            cache_dir=args.cache_dir,
+                            data_dir=args.data_dir) as (host, port):
+            report = run_loadtest(
+                host, port, requests=args.requests,
+                concurrency=args.concurrency, unique=args.unique,
+                seed=args.seed, trace_every=args.trace_every)
+    else:
+        if not wait_healthy(args.host, args.port, timeout_s=5.0):
+            print(f"no healthy server at "
+                  f"http://{args.host}:{args.port} "
+                  f"(start one with `repro serve`, or use --spawn)",
+                  file=sys.stderr)
+            return 2
+        report = run_loadtest(
+            args.host, args.port, requests=args.requests,
+            concurrency=args.concurrency, unique=args.unique,
+            seed=args.seed, trace_every=args.trace_every)
+    print(render(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    status = 0
+    if report["errors"]:
+        print(f"\n{report['errors']} requests failed", file=sys.stderr)
+        status = 1
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        problems = compare(report, baseline, threshold=args.threshold)
+        if problems:
+            print("\nserving regressions vs baseline:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"\nwithin {100 * args.threshold:.0f}% of baseline "
+                  f"{args.baseline}")
+    return status

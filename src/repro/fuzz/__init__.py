@@ -14,6 +14,9 @@ benchmark registry:
   (executor vs dense-sim vs event-sim memory images, dense/event
   ``SimStats`` equality, and a bitstream serialize/deserialize
   round-trip before any simulation);
+* :mod:`~repro.fuzz.validate` — the boundary validator for submitted
+  specs (shared with :mod:`repro.serve`, whose 400 responses carry its
+  field-level error paths);
 * :mod:`~repro.fuzz.shrink` — a greedy minimizer that reduces a failing
   spec while preserving its failure signature;
 * :mod:`~repro.fuzz.harness` — the campaign driver behind
@@ -30,11 +33,17 @@ from repro.fuzz.generator import (SPEC_VERSION, build_program, gen_spec,
 from repro.fuzz.harness import FuzzCampaign, replay_corpus, run_campaign
 from repro.fuzz.oracle import OracleResult, run_oracle
 from repro.fuzz.shrink import failure_signature, shrink_spec
+from repro.fuzz.validate import (InvalidSpecError, SpecError, check_spec,
+                                 validate_spec)
 
 __all__ = [
     "SPEC_VERSION",
     "FuzzCampaign",
+    "InvalidSpecError",
     "OracleResult",
+    "SpecError",
+    "check_spec",
+    "validate_spec",
     "build_program",
     "failure_signature",
     "gen_spec",

@@ -199,14 +199,15 @@ def spec_name(spec: dict) -> str:
 def build_program(spec: dict) -> Tuple[Program, List[str]]:
     """Deterministically rebuild ``(program, output_names)`` from a spec.
 
-    Raises :class:`~repro.errors.PatternError` (or a subclass) for
-    structurally invalid specs — shrink candidates may produce those and
-    the shrinker treats them as non-reproducing.
+    Validates the spec first (:mod:`repro.fuzz.validate`), so a
+    malformed document fails here with field-level
+    :class:`~repro.fuzz.validate.SpecError` paths instead of deep in
+    the compiler.  :class:`~repro.fuzz.validate.InvalidSpecError` is a
+    :class:`~repro.errors.PatternError`, so shrink candidates that
+    mutate a spec out of the schema are treated as non-reproducing.
     """
-    version = spec.get("version")
-    if version != SPEC_VERSION:
-        raise PatternError(
-            f"unsupported fuzz spec version {version!r}")
+    from repro.fuzz.validate import check_spec
+    check_spec(spec)
     n = int(spec["n"])
     program = Program(spec_name(spec))
     outputs: List[str] = []

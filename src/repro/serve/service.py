@@ -1,0 +1,269 @@
+"""The async compile-and-simulate service core.
+
+:class:`ReproService` is the transport-independent heart of the tier:
+:mod:`repro.serve.http` feeds it parsed bodies, unit tests call
+:meth:`ReproService.submit` directly.  One submission flows through:
+
+1. **parse + validate** — :func:`repro.serve.protocol.parse_request`;
+   schema problems return structured 400s without consuming a queue
+   slot;
+2. **result cache** — completed keys are replayed from a bounded LRU
+   (simulations are deterministic, so this is exact);
+3. **coalescing** — a key equal to an in-flight job's attaches to that
+   job's future instead of queuing duplicate work;
+4. **admission** — at most ``queue_depth`` jobs may be waiting for a
+   worker slot; beyond that the request is rejected with 429 and a
+   ``Retry-After`` estimate;
+5. **execution** — ``jobs`` concurrent slots drain onto a
+   :class:`~concurrent.futures.ProcessPoolExecutor` running the
+   stateless :func:`repro.serve.workers.execute_job` (tests may inject
+   any callable runner instead);
+6. **timeout** — each job gets ``timeout_s`` of wall clock, enforced
+   with ``asyncio.wait_for``.  The simulator itself is bounded too:
+   request ``max_cycles``/``watchdog`` are clamped to server caps, so a
+   runaway or deadlocked simulation trips the sim-side watchdog and the
+   worker slot always comes back.
+
+Shutdown is graceful: :meth:`drain` stops admissions (503), waits for
+every in-flight job, then tears down the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.bitstream.cache import default_cache_root
+from repro.serve.jobs import Job, JobOutcome, JobTable
+from repro.serve.metrics import ServiceStats
+from repro.serve.protocol import JobRequest, RequestError, parse_request
+from repro.serve.workers import execute_job
+
+
+def default_data_dir() -> Path:
+    """Artifact/trace store: ``<cache root>/serve`` by default."""
+    return default_cache_root() / "serve"
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs for one service instance."""
+
+    jobs: int = 2
+    queue_depth: int = 64
+    cache_dir: Optional[str] = None     # None -> default cache root
+    no_cache: bool = False
+    data_dir: Optional[str] = None      # None -> default_data_dir()
+    timeout_s: float = 300.0
+    result_cache: int = 256
+
+    def resolved_cache_dir(self) -> Optional[str]:
+        if self.no_cache:
+            return None
+        if self.cache_dir is not None:
+            return str(self.cache_dir)
+        return str(default_cache_root())
+
+    def resolved_data_dir(self) -> str:
+        if self.data_dir is not None:
+            return str(self.data_dir)
+        return str(default_data_dir())
+
+
+class ReproService:
+    """Queue + coalescer + worker pool behind the HTTP tier.
+
+    ``runner`` (tests) replaces the process pool with any
+    ``payload -> result-dict`` callable, executed on a thread so a
+    blocking runner still exercises real queueing behaviour.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 runner: Optional[Callable[[dict], dict]] = None):
+        self.config = config or ServeConfig()
+        self.stats = ServiceStats()
+        self.table = JobTable(self.config.result_cache)
+        self._runner = runner
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._slots = asyncio.Semaphore(self.config.jobs)
+        self._queued = 0       # admitted, waiting for a worker slot
+        self._running = 0      # holding a worker slot right now
+        self._draining = False
+        self._tasks: "set[asyncio.Task]" = set()
+        Path(self.data_dir).mkdir(parents=True, exist_ok=True)
+
+    # -- directories -------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self.config.resolved_cache_dir()
+
+    @property
+    def data_dir(self) -> str:
+        return self.config.resolved_data_dir()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker pool (no-op with an injected runner)."""
+        if self._runner is None and self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.jobs)
+
+    async def drain(self) -> None:
+        """Stop admitting, wait for in-flight jobs, shut the pool."""
+        self._draining = True
+        pending = [job.future for job in self.table.inflight.values()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for task in list(self._tasks):
+            try:
+                await task
+            except Exception:       # noqa: BLE001 — already reported
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- submission --------------------------------------------------------------
+    async def submit(self, mode: str, body) -> JobOutcome:
+        """One request in, one ``(status, result)`` out."""
+        self.stats.received += 1
+        started = time.perf_counter()
+        try:
+            status, result = await self._submit(mode, body)
+        finally:
+            self.stats.latency.record(
+                (time.perf_counter() - started) * 1e3)
+        return status, result
+
+    async def _submit(self, mode: str, body) -> JobOutcome:
+        try:
+            request = parse_request(body, mode)
+        except RequestError as err:
+            self.stats.invalid += 1
+            return err.status, err.body()
+        if self._draining:
+            return 503, {"error": "service is draining"}
+        key = request.key
+        cached = self.table.lookup_result(key)
+        if cached is not None:
+            self.stats.result_hits += 1
+            status, result = cached
+            return status, {**result, "served": "result-cache"}
+        job = self.table.get_inflight(key)
+        if job is not None:
+            self.stats.coalesced += 1
+            job.waiters += 1
+            status, result = await job.wait()
+            return status, {**result, "served": "coalesced"}
+        if self._queued >= self.config.queue_depth:
+            self.stats.rejected += 1
+            return 429, {"error": "job queue is full",
+                         "retry_after_s": self.retry_after()}
+        job = Job(key, request.describe())
+        self.table.register(job)
+        self._queued += 1
+        task = asyncio.get_running_loop().create_task(
+            self._run_job(job, request))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return await job.wait()
+
+    def retry_after(self) -> int:
+        """A Retry-After estimate (s): queue length x mean latency."""
+        mean_s = (self.stats.latency.sum_ms / 1e3
+                  / max(1, self.stats.latency.total))
+        backlog = self._queued + self._running
+        return max(1, int(backlog * mean_s / max(1, self.config.jobs)))
+
+    # -- execution ---------------------------------------------------------------
+    async def _run_job(self, job: Job, request: JobRequest) -> None:
+        try:
+            await self._slots.acquire()
+            self._queued -= 1
+            self._running += 1
+            job.started = time.perf_counter()
+            try:
+                outcome = await self._execute(request)
+            finally:
+                self._running -= 1
+                self._slots.release()
+        except BaseException as err:  # noqa: BLE001 — waiters must wake
+            outcome = (500, {"error": f"internal error: "
+                                      f"{type(err).__name__}: {err}"})
+        self._account(outcome)
+        self.table.remember(job.key, outcome)  # 200s only, both modes
+        self.table.retire(job)
+        job.finish(outcome)
+
+    async def _execute(self, request: JobRequest) -> JobOutcome:
+        loop = asyncio.get_running_loop()
+        payload = request.payload(self.cache_dir, self.data_dir)
+        if self._runner is not None:
+            fut = loop.run_in_executor(None, self._runner, payload)
+        else:
+            self.start()
+            fut = loop.run_in_executor(self._executor, execute_job,
+                                       payload)
+        try:
+            raw = await asyncio.wait_for(
+                fut, timeout=self.config.timeout_s)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            return 504, {"error": f"job exceeded the "
+                                  f"{self.config.timeout_s:g} s wall "
+                                  f"timeout",
+                         "job": request.describe()}
+        status = int(raw.get("status", 200 if raw.get("ok") else 500))
+        return status, raw
+
+    def _account(self, outcome: JobOutcome) -> None:
+        status, result = outcome
+        if status == 200:
+            self.stats.completed += 1
+        else:
+            self.stats.failed += 1
+        if not isinstance(result, dict):
+            return
+        compile_meta = result.get("compile")
+        if isinstance(compile_meta, dict):
+            self.stats.record_cache(compile_meta.get("outcome", ""),
+                                    compile_meta.get("corrupt", 0))
+            if compile_meta.get("compiled"):
+                self.stats.compiles += 1
+        if "simulate" in result:
+            self.stats.sims += 1
+
+    # -- observability -----------------------------------------------------------
+    def healthz(self) -> JobOutcome:
+        if self._draining:
+            return 503, {"ok": False, "draining": True}
+        return 200, {"ok": True, "inflight": len(self.table),
+                     "queued": self._queued, "running": self._running}
+
+    def statsz(self) -> dict:
+        snapshot = self.stats.to_dict()
+        snapshot["queue"] = {
+            "depth": self._queued,
+            "capacity": self.config.queue_depth,
+            "running": self._running,
+            "slots": self.config.jobs,
+            "inflight_keys": len(self.table),
+            "draining": self._draining,
+        }
+        snapshot["config"] = {
+            "jobs": self.config.jobs,
+            "queue_depth": self.config.queue_depth,
+            "timeout_s": self.config.timeout_s,
+            "result_cache": self.config.result_cache,
+            "cache_dir": self.cache_dir,
+            "data_dir": self.data_dir,
+        }
+        return snapshot

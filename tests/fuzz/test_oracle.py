@@ -23,7 +23,7 @@ def test_build_failure_is_reported_at_build_stage():
     result = run_oracle(spec)
     assert not result.ok
     assert result.stage == "build"
-    assert "PatternError" in result.error
+    assert "InvalidSpecError" in result.error
     assert "FAIL at build" in result.describe()
 
 

@@ -64,7 +64,7 @@ def test_shrink_minimizes_synthetic_failure():
             ]}
     mini, result = shrink_spec(spec)
     assert not result.ok
-    assert failure_signature(result) == ("build", "PatternError")
+    assert failure_signature(result) == ("build", "InvalidSpecError")
     assert mini["steps"] == [bad_step]
     assert mini["n"] == 16
 

@@ -1,0 +1,66 @@
+"""Loadtest harness units: the deterministic request mix, exact
+percentiles, and the baseline comparator (no sockets here — the
+live-replay path is exercised by the CI serve-smoke job)."""
+
+import pytest
+
+from repro.eval.loadtest import compare, make_requests, _percentile
+from repro.serve.protocol import spec_digest
+
+
+def test_request_mix_is_deterministic_and_has_duplicates():
+    a = make_requests(40, 10, seed=3, trace_every=7)
+    b = make_requests(40, 10, seed=3, trace_every=7)
+    assert a == b
+    assert make_requests(40, 10, seed=4) != a
+    digests = [spec_digest(body["spec"]) for body in a]
+    assert len(set(digests)) == 10          # exactly `unique` specs
+    assert len(digests) == 40               # padded with duplicates
+    traced = [body for body in a if "params" in body]
+    assert len(traced) == pytest.approx(40 / 7, abs=1)
+
+
+def test_request_mix_clamps_unique():
+    assert len({spec_digest(b["spec"])
+                for b in make_requests(5, 99, seed=0)}) == 5
+    assert len(make_requests(3, 0, seed=0)) == 3
+
+
+def test_percentile_is_exact_and_interpolated():
+    samples = [float(k) for k in range(1, 101)]
+    assert _percentile(samples, 50) == 50.5
+    assert _percentile(samples, 99) == pytest.approx(99.01)
+    assert _percentile(samples, 100) == 100.0
+    assert _percentile([], 50) == 0.0
+    assert _percentile([7.0], 99) == 7.0
+
+
+def _report(**overrides):
+    report = {
+        "errors": 0, "p50_ms": 100.0, "p99_ms": 400.0,
+        "throughput_rps": 20.0,
+        "server": {"coalesced": 5, "result_cache_hits": 3},
+    }
+    report.update(overrides)
+    return report
+
+
+def test_compare_accepts_within_threshold():
+    assert compare(_report(p50_ms=120.0), _report(),
+                   threshold=0.5) == []
+
+
+def test_compare_flags_errors_latency_and_lost_dedup():
+    baseline = _report()
+    problems = compare(
+        _report(errors=2, p50_ms=500.0, throughput_rps=5.0,
+                server={"coalesced": 0, "result_cache_hits": 0}),
+        baseline, threshold=0.5)
+    text = "\n".join(problems)
+    assert "failed requests" in text
+    assert "p50_ms" in text
+    assert "throughput_rps" in text
+    assert "coalesced" in text
+    # a baseline that never deduped imposes no dedup requirement
+    no_dedup = _report(server={"coalesced": 0, "result_cache_hits": 0})
+    assert compare(no_dedup, no_dedup, threshold=0.5) == []
