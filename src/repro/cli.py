@@ -20,11 +20,19 @@ Commands
     wakeup scheduler by default, ``dense`` for the tick-everything
     reference), ``--max-cycles`` and ``--watchdog`` bound runaway and
     deadlocked simulations.
-``bench [--quick] [--baseline PATH] [--jobs N]``
+``bench [--quick] [--baseline PATH] [--jobs N] [--batch]``
     Simulator performance harness: run the benchmark registry, report
     wall-clock seconds / simulated cycles / cycles-per-second per
     benchmark, and write ``BENCH_<rev>.json``.  With ``--baseline``
     compare against a committed report and fail on regression.
+    ``--batch`` instead times ``Machine.run_batch`` on a
+    Figure-7-style 78-instance grid against a sampled sequential
+    estimate and (with ``--baseline benchmarks/batch_baseline.json``)
+    enforces the committed minimum speedup — the CI ``batch-gate``
+    job.  ``repro run --batch`` likewise simulates N timing variants
+    (``--sweep stages=4,8,16 --sweep banks=4,16`` or an explicit
+    ``--batch-params`` JSON list) of one compiled design in a single
+    batched pass.
 ``table5 | table6 | table7``
     Regenerate a paper table.  ``--jobs N`` evaluates benchmarks on a
     process pool; compiles go through the artifact cache (``--cache-dir``
@@ -158,12 +166,117 @@ def _cmd_run_artifact(args) -> int:
     return 0
 
 
+def _parse_sweeps(sweeps) -> list:
+    """``--sweep KEY=V1,V2,...`` flags -> cross-product override grid."""
+    axes = []
+    for text in sweeps:
+        key, sep, values = text.partition("=")
+        if not sep or not values:
+            raise ValueError(
+                f"--sweep wants KEY=V1,V2,..., got {text!r}")
+        axes.append((key.strip(), [int(v) for v in values.split(",")]))
+    grid = [{}]
+    for key, vals in axes:
+        grid = [{**point, key: v} for point in grid for v in vals]
+    return grid
+
+
+def _batch_params_from(args) -> list:
+    """The per-instance override list selected by the batch flags."""
+    import json as _json
+
+    if args.batch_params:
+        text = args.batch_params
+        if text.startswith("@"):
+            with open(text[1:]) as fh:
+                text = fh.read()
+        params = _json.loads(text)
+        if not isinstance(params, list):
+            raise ValueError("--batch-params wants a JSON list of "
+                             "override dicts")
+        return params
+    if args.sweep:
+        return _parse_sweeps(args.sweep)
+    # default demo sweep: Figure 7a's stages axis
+    return [{"stages": s} for s in range(4, 17)]
+
+
+def _cmd_run_batch(args) -> int:
+    """``repro run --batch``: one compile, N simulated instances."""
+    from repro.apps import get_app
+    from repro.bitstream import Bitstream
+    from repro.compiler import compile_program
+    from repro.sim import Machine
+
+    try:
+        params = _batch_params_from(args)
+    except (ValueError, OSError) as err:
+        print(f"repro run --batch: {err}", file=sys.stderr)
+        return 2
+    app = None
+    started = time.time()
+    if args.artifact:
+        source = Bitstream.load(args.artifact)
+        label = f"{source.app} ({source.scale}) from {args.artifact}"
+    else:
+        app = get_app(args.app)
+        program = app.build(args.scale)
+        source = compile_program(program)
+        label = f"{app.display} ({args.scale})"
+    compile_s = time.time() - started
+    started = time.time()
+    batch = Machine.run_batch(source, params, scheduler=args.scheduler)
+    sim_s = time.time() - started
+    validated = 0
+    validatable = 0
+    if app is not None:
+        expected = app.expected(program)
+        for inst in batch:
+            if not inst.ok or "data" in inst.params:
+                continue
+            validatable += 1
+            results = {name: inst.machine.result(name)
+                       for name in expected}
+            app.check(program, results, expected)
+            validated += 1
+    print(f"{label}: {len(batch)} instances, {batch.cohorts} "
+          f"cohort(s), {batch.replayed} replayed")
+    print(f"  compile {compile_s * 1e3:.0f} ms, batch simulate "
+          f"{sim_s * 1e3:.0f} ms "
+          f"({sim_s * 1e3 / max(1, len(batch)):.0f} ms/instance)")
+    if app is not None:
+        print(f"  outputs: {validated}/{validatable} instances "
+              f"VALIDATED against the reference executor")
+    print(f"  {'#':>3s} {'role':6s} {'cycles':>9s}  params")
+    failures = 0
+    for inst in batch:
+        if inst.ok:
+            detail = f"{inst.stats.cycles:9d}"
+        else:
+            failures += 1
+            detail = f"{'ERROR':>9s}"
+        compact = ", ".join(f"{k}={v}" for k, v in inst.params.items()
+                            if k != "data") or "(as compiled)"
+        if "data" in inst.params:
+            compact += " +data"
+        print(f"  {inst.index:3d} {inst.role:6s} {detail}  {compact}")
+        if not inst.ok:
+            print(f"      {inst.error}")
+    return 1 if failures else 0
+
+
 def _cmd_run(args) -> int:
     from repro.apps import get_app
     from repro.compiler import compile_program
     from repro.dhdl import format_program
     from repro.sim import Machine
 
+    if args.batch:
+        if not args.app and not args.artifact:
+            print("repro run --batch: give an APP name or --artifact "
+                  "PATH", file=sys.stderr)
+            return 2
+        return _cmd_run_batch(args)
     if args.artifact:
         return _cmd_run_artifact(args)
     if not args.app:
@@ -291,6 +404,18 @@ def _cmd_table(args) -> int:
 def _cmd_figure7(args) -> int:
     from repro.eval import figure7
     from repro.eval.driver import CacheTally
+    if args.simulate:
+        values = figure7.SIM_SWEEPS.get(args.param)
+        if values is None:
+            print(f"cannot sweep {args.param!r} in the simulator; "
+                  f"one of: {sorted(figure7.SIM_SWEEPS)}",
+                  file=sys.stderr)
+            return 2
+        result = figure7.sim_sweep(args.param, values, app=args.app,
+                                   scale=args.scale,
+                                   cache=_cache_from(args))
+        print(figure7.render_sim(result))
+        return 0
     for key, (param, values) in figure7.SWEEPS.items():
         if param == args.param:
             tally = CacheTally()
@@ -314,7 +439,8 @@ def _cmd_fuzz(args) -> int:
     from repro.fuzz import replay_corpus, run_campaign
     campaign = run_campaign(args.seed, args.runs, shrink=args.shrink,
                             save_dir=args.save_failures,
-                            progress=print)
+                            progress=print,
+                            batched=args.batch_oracle)
     print(campaign.summary())
     status = 1 if campaign.divergences else 0
     if args.corpus is not None:
@@ -395,6 +521,17 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="record detailed events only every N cycles "
                           "(attribution stays exact)")
+    run.add_argument("--batch", action="store_true",
+                     help="simulate N parameter variants of one "
+                          "compiled design in a single batched pass "
+                          "(see --sweep / --batch-params)")
+    run.add_argument("--sweep", action="append", default=[],
+                     metavar="KEY=V1,V2,...",
+                     help="with --batch: sweep one timing parameter "
+                          "(repeatable; flags cross-product)")
+    run.add_argument("--batch-params", default=None, metavar="JSON",
+                     help="with --batch: explicit JSON list of "
+                          "per-instance override dicts (or @FILE)")
     run.add_argument("--scheduler", default="event",
                      choices=("event", "dense"),
                      help="cycle loop: event-driven wakeup scheduler "
@@ -408,6 +545,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "forward progress")
     bench = sub.add_parser(
         "bench", help="simulator performance harness")
+    bench.add_argument("--batch", action="store_true",
+                       help="benchmark Machine.run_batch on a Figure-7 "
+                            "style 78-instance grid instead of the "
+                            "registry loop; with --baseline, gate on "
+                            "benchmarks/batch_baseline.json")
     bench.add_argument("--scale", default="small",
                        choices=("tiny", "small"))
     bench.add_argument("--quick", action="store_true",
@@ -451,6 +593,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("param")
     fig.add_argument("--scale", default="small",
                      choices=("tiny", "small"))
+    fig.add_argument("--simulate", action="store_true",
+                     help="sweep a *timing* parameter through the "
+                          "batched cycle simulator (cycles curve) "
+                          "instead of the area model")
+    fig.add_argument("--app", default="gemm", metavar="APP",
+                     help="--simulate: which registry benchmark to "
+                          "sweep (default gemm)")
     add_cache_args(fig)
     fuzz = sub.add_parser(
         "fuzz", help="differential-fuzz the executors (see repro.fuzz)")
@@ -460,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="number of consecutive seeds to fuzz "
                            "(default 50)")
+    fuzz.add_argument("--batch-oracle", action="store_true",
+                      help="also pin every passing spec batch-vs-"
+                           "sequential (Machine.run_batch under timing "
+                           "variants must match solo runs bit-for-bit)")
     fuzz.add_argument("--shrink", action="store_true",
                       help="minimize each failing program before "
                            "reporting it")

@@ -261,6 +261,189 @@ def compare(current: dict, baseline: dict,
     return failures
 
 
+# ---------------------------------------------------------------------------
+# Batched-simulation benchmark (the CI batch-gate workload)
+# ---------------------------------------------------------------------------
+
+#: batch report format version
+BATCH_FORMAT = 1
+
+
+def batch_param_grid(stages=range(4, 17), banks=(4, 8, 16),
+                     output_hops=(1, 3)) -> List[dict]:
+    """The Figure-7-shaped timing grid the batch gate sweeps.
+
+    The stages axis is exactly Figure 7a's range; banks and output hops
+    add the PMU/network axes, giving 13*3*2 = 78 instances of one
+    compiled design — a realistic DSE sweep shape.
+    """
+    return [{"stages": s, "banks": b, "output_hops": h}
+            for s in stages for b in banks for h in output_hops]
+
+
+def run_batch_benchmark(app: str = "gemm", scale: str = "small",
+                        scheduler: str = "event",
+                        params: Optional[List[dict]] = None,
+                        sample: int = 6, cache=None) -> dict:
+    """Time ``Machine.run_batch`` against a sequential estimate.
+
+    The batch side runs the full grid and is timed exactly.  The
+    sequential side would take minutes at gate-relevant sizes, so it is
+    *estimated*: ``sample`` instances spread across the grid are run
+    solo (through the same :func:`repro.sim.batch.instantiate` the
+    batch uses) and their mean wall time is extrapolated to N.  Every
+    sampled instance is also compared bit-for-bit — SimStats and the
+    full DRAM image — against its batch twin, so the benchmark doubles
+    as an end-to-end equivalence check.
+    """
+    import numpy as np
+
+    from repro.compiler.artifact import compile_app_cached
+    from repro.sim.batch import instantiate, run_batch
+
+    t0 = time.perf_counter()
+    artifact, _ = compile_app_cached(app, scale, cache=cache)
+    compile_s = time.perf_counter() - t0
+    params = params if params is not None else batch_param_grid()
+    n = len(params)
+    sample = max(1, min(sample, n))
+    picks = sorted(set(np.linspace(0, n - 1, sample).astype(int)
+                       .tolist()))
+
+    solo = {}
+    seq_s = 0.0
+    for i in picks:
+        machine = instantiate(artifact, params[i], scheduler=scheduler)
+        t0 = time.perf_counter()
+        machine.run()
+        seq_s += time.perf_counter() - t0
+        solo[i] = machine
+    per_run_s = seq_s / len(picks)
+    est_sequential_s = per_run_s * n
+
+    t0 = time.perf_counter()
+    batch = run_batch(artifact, params, scheduler=scheduler)
+    batch_s = time.perf_counter() - t0
+
+    mismatches = []
+    for i, machine in solo.items():
+        twin = batch[i]
+        if twin.error is not None:
+            mismatches.append(f"instance {i}: batch errored: "
+                              f"{twin.error}")
+            continue
+        if not machine.stats.same_as(twin.stats):
+            mismatches.append(f"instance {i}: SimStats diverge")
+        for name, buf in machine.image.buffers.items():
+            if not np.array_equal(buf, twin.machine.image.buffers[name]):
+                mismatches.append(f"instance {i}: DRAM image "
+                                  f"{name!r} diverges")
+    errors = [f"instance {r.index}: {r.error}"
+              for r in batch if r.error is not None]
+    speedup = est_sequential_s / batch_s if batch_s > 0 else 0.0
+    return {
+        "format": BATCH_FORMAT,
+        "rev": git_rev(),
+        "app": app,
+        "scale": scale,
+        "scheduler": scheduler,
+        "instances": n,
+        "cohorts": batch.cohorts,
+        "replayed": batch.replayed,
+        "sampled": len(picks),
+        "compile_s": round(compile_s, 6),
+        "per_run_s": round(per_run_s, 6),
+        "est_sequential_s": round(est_sequential_s, 6),
+        "batch_s": round(batch_s, 6),
+        "speedup": round(speedup, 3),
+        "verified": len(picks) - len(mismatches),
+        "mismatches": mismatches,
+        "errors": errors,
+    }
+
+
+def compare_batch(report: dict, baseline: dict) -> List[str]:
+    """Batch-gate check; returns failure messages (empty = pass).
+
+    The committed baseline pins the minimum acceptable
+    batch-vs-sequential speedup; any equivalence mismatch or instance
+    error found during the benchmark fails the gate outright.
+    """
+    failures = list(report.get("mismatches", ()))
+    failures += report.get("errors", ())
+    min_speedup = float(baseline.get("min_speedup", 0.0))
+    if report["speedup"] < min_speedup:
+        failures.append(
+            f"batch speedup regression: {report['speedup']:.1f}x vs "
+            f"committed floor {min_speedup:.1f}x "
+            f"({report['instances']} instances, batch "
+            f"{report['batch_s']:.2f}s, est sequential "
+            f"{report['est_sequential_s']:.2f}s)")
+    want_n = baseline.get("instances")
+    if want_n is not None and report["instances"] != want_n:
+        failures.append(
+            f"batch workload changed: {report['instances']} instances "
+            f"vs baseline {want_n} (update benchmarks/"
+            f"batch_baseline.json if intended)")
+    return failures
+
+
+def render_batch(report: dict) -> str:
+    """Human-readable batch benchmark summary."""
+    return "\n".join([
+        f"batched simulation — {report['app']} ({report['scale']}), "
+        f"{report['instances']} instances, scheduler="
+        f"{report['scheduler']}, rev={report['rev']}",
+        f"  cohorts {report['cohorts']}, replayed {report['replayed']}, "
+        f"compile {report['compile_s'] * 1e3:.0f} ms",
+        f"  sequential estimate: {report['per_run_s'] * 1e3:.0f} ms/run "
+        f"x {report['instances']} = {report['est_sequential_s']:.2f} s "
+        f"(measured on {report['sampled']} sampled instances)",
+        f"  batch: {report['batch_s']:.2f} s  ->  speedup "
+        f"{report['speedup']:.1f}x",
+        f"  equivalence: {report['verified']}/{report['sampled']} "
+        f"sampled instances bit-identical"
+        + (f"; MISMATCHES: {report['mismatches']}"
+           if report["mismatches"] else ""),
+    ])
+
+
+def cmd_bench_batch(args) -> int:
+    """The ``repro bench --batch`` path (wired from :func:`cmd_bench`)."""
+    import sys
+
+    from repro.bitstream.cache import CompileCache
+
+    app = (args.apps[0] if args.apps else "gemm")
+    scale = "tiny" if args.quick else args.scale
+    cache = CompileCache(args.cache_dir) if args.cache_dir else None
+    report = run_batch_benchmark(app=app, scale=scale,
+                                 scheduler=args.scheduler, cache=cache)
+    print(render_batch(report))
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, f"BATCH_{report['rev']}.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {path}")
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = compare_batch(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"batch gate passed (floor "
+              f"{baseline.get('min_speedup', 0):.1f}x)")
+    elif report["mismatches"] or report["errors"]:
+        for failure in report["mismatches"] + report["errors"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        status = 1
+    return status
+
+
 def render(report: dict) -> str:
     """Human-readable table for the terminal."""
     lines = [f"simulator benchmark — scale={report['scale']} "
@@ -296,6 +479,8 @@ def cmd_bench(args) -> int:
     from repro.bitstream.cache import CompileCache
     from repro.eval.driver import CacheTally
 
+    if getattr(args, "batch", False):
+        return cmd_bench_batch(args)
     scale = "tiny" if args.quick else args.scale
     repeat = 1 if args.quick else args.repeat
     # caching is opt-in for bench: compile_s is part of the report, and

@@ -149,6 +149,61 @@ def select_bank_kb(report: Dict[int, Dict]) -> int:
     return max(report)
 
 
+#: timing parameters the batched simulator can sweep directly: each
+#: candidate value becomes one instance of a single compiled design in
+#: one ``Machine.run_batch`` call (the area sweeps above re-partition
+#: instead; these measure *cycles*)
+SIM_SWEEPS = {
+    "stages": tuple(range(4, 17)),
+    "banks": (2, 4, 8, 16),
+    "input_hops": (0, 1, 2, 4),
+    "output_hops": (0, 1, 2, 4),
+    "dram_queue_depth": (2, 4, 8, 16, 32, 64),
+}
+
+
+def sim_sweep(param: str, values: Sequence[int], app: str = "gemm",
+              scale: str = "tiny", scheduler: str = "event",
+              cache: Optional[CompileCache] = None) -> Dict:
+    """Simulated-cycle curve for one timing parameter via run_batch.
+
+    Compiles ``app`` once and simulates every candidate value as one
+    batch instance — all values share a single leader's functional log,
+    so the sweep costs one full simulation plus cheap replays.
+    """
+    if param not in SIM_SWEEPS:
+        raise ValueError(
+            f"cannot sweep {param!r} in the simulator; one of: "
+            f"{sorted(SIM_SWEEPS)}")
+    from repro.compiler.artifact import compile_app_cached
+    from repro.sim.batch import run_batch
+    artifact, _ = compile_app_cached(app, scale, cache=cache)
+    batch = run_batch(artifact, [{param: v} for v in values],
+                      scheduler=scheduler)
+    curve: Dict[int, Optional[int]] = {}
+    for value, inst in zip(values, batch):
+        curve[value] = inst.stats.cycles if inst.ok else None
+    return {"app": app, "scale": scale, "param": param, "curve": curve,
+            "cohorts": batch.cohorts, "replayed": batch.replayed}
+
+
+def render_sim(result: Dict) -> str:
+    """ASCII rendering of one simulated sweep."""
+    curve = result["curve"]
+    values = sorted(curve)
+    best = min((c for c in curve.values() if c is not None),
+               default=None)
+    rows = [[str(v),
+             "X" if curve[v] is None else str(curve[v]),
+             "" if curve[v] is None or not best
+             else f"{curve[v] / best:.2f}x"] for v in values]
+    title = (f"simulated sweep: {result['param']} on {result['app']} "
+             f"({result['scale']}) — {result['cohorts']} cohort(s), "
+             f"{result['replayed']} replayed")
+    return format_table([result["param"], "cycles", "vs best"], rows,
+                        title=title)
+
+
 def render(param: str, curves) -> str:
     """ASCII rendering of one subfigure."""
     values = sorted(next(iter(curves.values())).keys())

@@ -31,7 +31,8 @@ regression corpus entries.
 from repro.fuzz.generator import (SPEC_VERSION, build_program, gen_spec,
                                   load_spec, save_spec, spec_name)
 from repro.fuzz.harness import FuzzCampaign, replay_corpus, run_campaign
-from repro.fuzz.oracle import OracleResult, run_oracle
+from repro.fuzz.oracle import (BATCH_VARIANTS, OracleResult,
+                               run_oracle, run_oracle_batched)
 from repro.fuzz.shrink import failure_signature, shrink_spec
 from repro.fuzz.validate import (InvalidSpecError, SpecError, check_spec,
                                  validate_spec)
@@ -50,7 +51,9 @@ __all__ = [
     "load_spec",
     "replay_corpus",
     "run_campaign",
+    "BATCH_VARIANTS",
     "run_oracle",
+    "run_oracle_batched",
     "save_spec",
     "shrink_spec",
     "spec_name",

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
 from repro.fuzz.generator import gen_spec, save_spec, load_spec, spec_name
-from repro.fuzz.oracle import OracleResult, run_oracle
+from repro.fuzz.oracle import OracleResult, run_oracle, run_oracle_batched
 from repro.fuzz.shrink import shrink_spec
 
 #: default checked-in regression corpus (repo-relative)
@@ -39,6 +39,8 @@ class FuzzCampaign:
     shrunk: List[Tuple[dict, dict]] = field(default_factory=list)
     wall_s: float = 0.0
     total_cycles: int = 0
+    #: specs additionally pinned batch-vs-sequential (``batched=True``)
+    batched_ok: int = 0
 
     @property
     def divergences(self) -> int:
@@ -51,6 +53,9 @@ class FuzzCampaign:
                  f"{self.ok} ok, {self.divergences} divergent "
                  f"({self.total_cycles} simulated cycles, "
                  f"{self.wall_s:.1f} s)"]
+        if self.batched_ok:
+            lines.append(f"  batched oracle: {self.batched_ok} specs "
+                         f"bit-identical batch-vs-sequential")
         for result in self.failures:
             lines.append("  " + result.describe())
         return "\n".join(lines)
@@ -58,18 +63,25 @@ class FuzzCampaign:
 
 def run_campaign(seed: int, runs: int, shrink: bool = False,
                  save_dir: Optional[Union[str, Path]] = None,
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> FuzzCampaign:
+                 progress: Optional[Callable[[str], None]] = None,
+                 batched: bool = False) -> FuzzCampaign:
     """Fuzz ``runs`` seeds starting at ``seed``.
 
     ``shrink`` minimizes each failure before reporting; ``save_dir``
     writes failing specs (and their ``.min`` counterparts) as JSON.
+    ``batched`` additionally pins every spec that passes the three-way
+    oracle through the batch-vs-sequential oracle
+    (:func:`repro.fuzz.oracle.run_oracle_batched`).
     """
     campaign = FuzzCampaign(seed=seed, runs=runs)
     started = time.time()
     for k in range(runs):
         spec = gen_spec(seed + k)
         result = run_oracle(spec)
+        if result.ok and batched:
+            result = run_oracle_batched(spec)
+            if result.ok:
+                campaign.batched_ok += 1
         if result.ok:
             campaign.ok += 1
             campaign.total_cycles += result.cycles

@@ -160,3 +160,76 @@ def run_oracle(spec: dict, trip_error: bool = False) -> OracleResult:
             raise
         return OracleResult(spec, ok=False, stage=stage,
                             error=f"{type(err).__name__}: {err}")
+
+
+#: timing-override variants every batched-oracle run simulates: the
+#: as-compiled design plus shallow pipelines, re-banked scratchpads and
+#: a throttled DRAM queue — the axes most likely to reorder events
+BATCH_VARIANTS = ({}, {"stages": 3}, {"stages": 9, "banks": 8},
+                  {"dram_queue_depth": 4})
+
+
+def run_oracle_batched(spec: dict, variants=BATCH_VARIANTS,
+                       trip_error: bool = False) -> OracleResult:
+    """Pin ``Machine.run_batch`` against sequential runs on one spec.
+
+    Each variant is simulated twice from the same frozen artifact: once
+    inside one batched pass (leader + log-replaying followers) and once
+    as a plain sequential :meth:`Machine.run` built through the same
+    :func:`repro.sim.batch.instantiate` helper.  Agreement is bit-exact:
+    every ``SimStats`` field and the full DRAM memory image per variant.
+    """
+    from repro.sim.batch import instantiate, run_batch
+    stage = "build"
+    try:
+        program, _ = build_program(spec)
+        stage = "compile"
+        from repro.compiler.artifact import freeze_program
+        artifact = freeze_program(program, spec_name(spec), "fuzz",
+                                  options=FUZZ_OPTIONS)
+        stage = "sim-batch"
+        batch = run_batch(artifact, list(variants))
+        stage = "sim-sequential"
+        result = OracleResult(spec, ok=True)
+        for i, overrides in enumerate(variants):
+            solo = instantiate(artifact, overrides)
+            try:
+                solo_stats = solo.run()
+                solo_error = None
+            except ReproError as err:
+                solo_stats = None
+                solo_error = f"{type(err).__name__}: {err}"
+            twin = batch[i]
+            if (twin.error is None) != (solo_error is None):
+                result.mismatches.append(
+                    f"batch-vs-solo[{i}]:outcome "
+                    f"({twin.error!r} vs {solo_error!r})")
+                continue
+            if solo_error is not None:
+                if twin.error != solo_error:
+                    result.mismatches.append(
+                        f"batch-vs-solo[{i}]:error-text")
+                continue
+            result.cycles += solo_stats.cycles
+            if not solo_stats.same_as(twin.stats):
+                diverged = [k for k, v in solo_stats.as_dict().items()
+                            if twin.stats.as_dict()[k] != v]
+                result.mismatches.append(
+                    f"batch-vs-solo[{i}]:stats:{','.join(diverged)}")
+            for name, buf in solo.image.buffers.items():
+                if not np.array_equal(
+                        buf, twin.machine.image.buffers[name]):
+                    result.mismatches.append(
+                        f"batch-vs-solo[{i}]:dram:{name}")
+        if result.mismatches:
+            result.ok = False
+            result.stage = "compare-batch"
+        return result
+    except ReproError as err:
+        return OracleResult(spec, ok=False, stage=stage,
+                            error=f"{type(err).__name__}: {err}")
+    except Exception as err:  # noqa: BLE001 — a crasher IS a finding
+        if trip_error:
+            raise
+        return OracleResult(spec, ok=False, stage=stage,
+                            error=f"{type(err).__name__}: {err}")

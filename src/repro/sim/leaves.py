@@ -108,6 +108,17 @@ class InnerComputeSim(_LeafCommon):
         # reduce accumulators: stmt index -> {key: (bindings, value)}
         self._accs: Dict[int, Dict[Tuple, Tuple[dict, object]]] = {}
         self._version: tuple = ()
+        # the statement list is frozen at construction, so the op count
+        # per lane and the per-lane FIFO word demand are constants
+        self._ops_per_lane = sum(E.count_ops(root)
+                                 for stmt in leaf.stmts
+                                 for root in stmt.exprs())
+        demand: Dict[str, int] = {}
+        for stmt in leaf.stmts:
+            if isinstance(stmt, EmitStmt):
+                demand[stmt.fifo.name] = demand.get(stmt.fifo.name, 0) + 1
+        self._emit_demand: Tuple[Tuple[str, int], ...] = \
+            tuple(demand.items())
 
     # -- activation ---------------------------------------------------------------
     def start(self, bindings: dict, version: int) -> None:
@@ -115,18 +126,10 @@ class InnerComputeSim(_LeafCommon):
             raise SimulationError(f"{self.name}: started while busy")
         self._active = True
         self._version = version
-        self._ctx_cur = self._ctx(version)
-        ctx = self._ctx_cur
-
-        def evaluate(expr, bnd):
-            return ctx.eval(expr, bnd, {})
-
-        self._enum = ChainEnumerator(self.leaf.chain, evaluate, bindings)
         self._pending = None
         self._stall_until = 0
         self._drain_until = 0
-        self._accs = {k: {} for k, s in enumerate(self.leaf.stmts)
-                      if isinstance(s, ReduceStmt)}
+        self._begin_body(bindings, version)
         # dense HashReduce targets start at their init value unless they
         # carry previous contents across activations
         for stmt in self.leaf.stmts:
@@ -134,6 +137,19 @@ class InnerComputeSim(_LeafCommon):
                 scratch = self.mem.scratch(stmt.mem)
                 buf = scratch.buffer(version)
                 buf.fill(_np_dtype(stmt.mem.dtype)(stmt.init))
+
+    def _begin_body(self, bindings: dict, version) -> None:
+        """Set up evaluation state for one activation (overridden by the
+        batch record/replay leaves)."""
+        self._ctx_cur = self._ctx(version)
+        ctx = self._ctx_cur
+
+        def evaluate(expr, bnd):
+            return ctx.eval(expr, bnd, {})
+
+        self._enum = ChainEnumerator(self.leaf.chain, evaluate, bindings)
+        self._accs = {k: {} for k, s in enumerate(self.leaf.stmts)
+                      if isinstance(s, ReduceStmt)}
 
     # -- per-cycle ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
@@ -223,19 +239,8 @@ class InnerComputeSim(_LeafCommon):
         # demand is summed per FIFO — several EmitStmts feeding the same
         # FIFO each need batch.lanes words, and checking them one at a
         # time would pass with room for only one statement's worth
-        demand: Dict[str, int] = {}
-        for stmt in self.leaf.stmts:
-            if isinstance(stmt, EmitStmt):
-                demand[stmt.fifo.name] = (demand.get(stmt.fifo.name, 0)
-                                          + batch.lanes)
-        for name, needed in demand.items():
-            fifo = self.fifos[name]
-            if not fifo.can_push(needed):
-                fifo.full_stalls += 1
-                self._blocked_fifo = fifo
-                if self.trace is not None:
-                    self.trace.emit(EventKind.FIFO_FULL, name, (needed,))
-                return None
+        if not self._check_fifo_room(batch.lanes):
+            return None
 
         write_addrs: Dict[str, List[int]] = {}
         lane_caches = [dict() for _ in batch.lane_bindings]
@@ -250,32 +255,58 @@ class InnerComputeSim(_LeafCommon):
                 self._do_emit(stmt, batch, ctx, lane_caches)
             else:
                 raise SimulationError(f"unknown stmt {stmt!r}")
-        # price the cycle: bank conflicts on reads and writes, per
-        # operand stream (each load site reads in its own stage)
+        extra = self._price(ctx.reset_accesses(), write_addrs)
+        self.stats.conflict_cycles += extra
+        self.stats.ops_executed += self._ops_per_lane * batch.lanes
+        return extra
+
+    def _check_fifo_room(self, lanes: int) -> bool:
+        """All-lanes-emit FIFO room precheck (first failing FIFO is
+        charged the stall, exactly as the dense loop always did)."""
+        for name, per_lane in self._emit_demand:
+            needed = per_lane * lanes
+            fifo = self.fifos[name]
+            if not fifo.can_push(needed):
+                fifo.full_stalls += 1
+                self._blocked_fifo = fifo
+                if self.trace is not None:
+                    self.trace.emit(EventKind.FIFO_FULL, name, (needed,))
+                return False
+        return True
+
+    def _price(self, read_accesses: Dict, write_addrs: Dict) -> int:
+        """Price the cycle: bank conflicts on reads and writes, per
+        operand stream (each load site reads in its own stage)."""
         extra = 0
-        for (name, _site), addrs in ctx.reset_accesses().items():
+        for (name, _site), addrs in read_accesses.items():
             extra = max(extra, self.mem.scratchpads[name].read_cost(addrs))
         for name, addrs in write_addrs.items():
             extra = max(extra, self.mem.scratchpads[name].write_cost(addrs))
-        self.stats.conflict_cycles += extra
-        self.stats.ops_executed += self._batch_ops(batch)
         return extra
 
-    def _batch_ops(self, batch: Batch) -> int:
-        ops = 0
-        for stmt in self.leaf.stmts:
-            for root in stmt.exprs():
-                ops += E.count_ops(root)
-        return ops * batch.lanes
+    # effect-application primitives: every architecturally visible write
+    # funnels through one of these, so the batch recorder/replayer can
+    # intercept them without touching evaluation logic
+    def _write_sram(self, ctx, mem, idxs, value) -> int:
+        return ctx.write_sram(mem, idxs, value)
+
+    def _write_reg(self, ctx, mem, value) -> None:
+        ctx.write_reg(mem, value)
+
+    def _hash_store(self, mem, buf, key, value) -> None:
+        buf.flat[key] = value
+
+    def _emit_values(self, fifo: FifoSim, values: List) -> None:
+        fifo.push(values)
 
     def _do_write(self, stmt: WriteStmt, batch, ctx, caches, write_addrs):
         for lane, cache in zip(batch.lane_bindings, caches):
             value = ctx.eval(stmt.value, lane, cache)
             if isinstance(stmt.mem, Reg):
-                ctx.write_reg(stmt.mem, value)
+                self._write_reg(ctx, stmt.mem, value)
                 continue
             idxs = [int(ctx.eval(a, lane, cache)) for a in stmt.addr]
-            flat = ctx.write_sram(stmt.mem, idxs, value)
+            flat = self._write_sram(ctx, stmt.mem, idxs, value)
             write_addrs.setdefault(stmt.mem.name, []).append(flat)
 
     def _do_reduce(self, si: int, stmt: ReduceStmt, batch, ctx, caches):
@@ -307,7 +338,8 @@ class InnerComputeSim(_LeafCommon):
             cbind = dict(lane)
             cbind[stmt.acc_a] = buf.flat[key].item()
             cbind[stmt.acc_b] = value
-            buf.flat[key] = ctx.eval(stmt.combine, cbind, {})
+            self._hash_store(stmt.mem, buf, key,
+                             ctx.eval(stmt.combine, cbind, {}))
             write_addrs.setdefault(stmt.mem.name, []).append(key)
 
     def _do_emit(self, stmt: EmitStmt, batch, ctx, caches):
@@ -317,10 +349,19 @@ class InnerComputeSim(_LeafCommon):
             if ctx.eval(stmt.cond, lane, cache):
                 values.append(ctx.eval(stmt.value, lane, cache))
         if values:
-            fifo.push(values)
+            self._emit_values(fifo, values)
 
     # -- completion ---------------------------------------------------------------
     def _finish(self) -> None:
+        self._apply_finals()
+        # close any FIFO this body emits into
+        for stmt in self.leaf.stmts:
+            if isinstance(stmt, EmitStmt):
+                self.fifos[stmt.fifo.name].close()
+        self._active = False
+
+    def _apply_finals(self) -> None:
+        """Apply the end-of-activation reduce results."""
         ctx = self._ctx_cur
         for si, accs in self._accs.items():
             stmt = self.leaf.stmts[si]
@@ -343,15 +384,10 @@ class InnerComputeSim(_LeafCommon):
                               for c in stmt.combines]
                 for mem, value in zip(stmt.mems, values):
                     if isinstance(mem, Reg):
-                        ctx.write_reg(mem, value)
+                        self._write_reg(ctx, mem, value)
                     else:
-                        ctx.write_sram(mem, list(key), value)
+                        self._write_sram(ctx, mem, list(key), value)
         ctx.reset_accesses()
-        # close any FIFO this body emits into
-        for stmt in self.leaf.stmts:
-            if isinstance(stmt, EmitStmt):
-                self.fifos[stmt.fifo.name].close()
-        self._active = False
 
 
 class _TransferCommon(_LeafCommon):

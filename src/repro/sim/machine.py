@@ -203,6 +203,21 @@ class Machine:
         raise SimulationError(
             f"unknown scheduler {mode!r}; one of: event, dense")
 
+    @classmethod
+    def run_batch(cls, source, param_list, scheduler: str = "event",
+                  tracer_factory=None):
+        """Simulate N instances of one compiled design in one pass.
+
+        Cohorts of instances sharing the same functional inputs run as
+        one fully-evaluated leader plus log-replaying followers, stepped
+        jointly at the minimum next-wake cycle; results are bit-exact
+        against sequential :meth:`run` calls.  See
+        :func:`repro.sim.batch.run_batch`.
+        """
+        from repro.sim.batch import run_batch as _run_batch
+        return _run_batch(source, param_list, scheduler=scheduler,
+                          tracer_factory=tracer_factory)
+
     def _progress_key(self) -> Tuple:
         fifo_flow = sum(f.pushed + f.popped for f in self.fifos.values())
         completed = sum(sum(o._completed) for o in self._outers)

@@ -52,6 +52,10 @@ from repro.trace.events import StallCause
 #: recognised scheduler modes (CLI + Machine API)
 SCHEDULER_MODES = ("event", "dense")
 
+#: executed cycles between voluntary yields of the span generators
+#: (bounds how long one batch instance can monopolise the driver)
+_SPAN_CYCLES = 2048
+
 
 class Park:
     """One parked unit: its wakeup set plus the exact per-cycle effects
@@ -102,6 +106,15 @@ EMPTY_PARK = Park()
 
 def run_dense(machine, max_cycles: int):
     """The reference dense loop: tick everything, every cycle."""
+    for _ in dense_spans(machine, max_cycles):
+        pass
+    return machine.stats
+
+
+def dense_spans(machine, max_cycles: int):
+    """:func:`run_dense` as a resumable generator (see
+    :meth:`EventScheduler.spans`): yields the current cycle every
+    ``_SPAN_CYCLES`` cycles so a batch driver can interleave instances."""
     machine.root.start({}, ())
     trace = machine.tracer
     last_progress_key = None
@@ -131,8 +144,9 @@ def run_dense(machine, max_cycles: int):
             machine._raise_deadlock(last_progress_cycle)
         if trace is not None:
             trace.end_cycle()
+        if machine.cycle % _SPAN_CYCLES == 0:
+            yield machine.cycle
     machine._epilogue()
-    return machine.stats
 
 
 #: unit states under the event scheduler
@@ -321,6 +335,22 @@ class EventScheduler:
 
     # -- main loop ----------------------------------------------------------------
     def run(self, max_cycles: int):
+        for _ in self.spans(max_cycles):
+            pass
+        return self.m.stats
+
+    def spans(self, max_cycles: int):
+        """Run as a resumable generator, yielding the current cycle at
+        span boundaries (after each fast-forward jump and every
+        ``_SPAN_CYCLES`` executed cycles).
+
+        This is how :func:`repro.sim.batch.run_batch` interleaves many
+        instances of one design: each instance's scheduler is advanced
+        span by span, with the batch driver always resuming the instance
+        whose next-wake cycle is smallest.  :meth:`run` drains the
+        generator in place, so a solo run is the single-instance special
+        case of the same loop.
+        """
         m = self.m
         m.root.start({}, ())
         self.node_started(m.root)
@@ -403,9 +433,13 @@ class EventScheduler:
             if trace is not None:
                 trace.end_cycle()
             if self.num_running == 0 and root.busy:
-                cycle = self._fast_forward(cycle, last_progress_cycle,
-                                           max_cycles)
-                m.cycle = cycle
+                jumped = self._fast_forward(cycle, last_progress_cycle,
+                                            max_cycles)
+                if jumped != cycle:
+                    cycle = jumped
+                    m.cycle = cycle
+                    yield cycle
+            if executed % _SPAN_CYCLES == 0:
+                yield cycle
         self.executed_cycles += executed
         m._epilogue()
-        return m.stats

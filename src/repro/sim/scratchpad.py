@@ -100,18 +100,27 @@ class ScratchpadSim:
             del self.versions[version]
 
     # -- timing ------------------------------------------------------------------
-    def read_cost(self, flat_addrs: Sequence[int]) -> int:
-        """Extra cycles (beyond 1) to service one vector of lane reads."""
-        self.reads += len(flat_addrs)
+    def read_extra(self, flat_addrs: Sequence[int]) -> int:
+        """Pure conflict cost of one vector of lane reads (no counter
+        side effects) — memoizable per banking configuration."""
         mode = self.sram.banking
         if mode in (BankingMode.FIFO, BankingMode.LINE_BUFFER,
                     BankingMode.DUPLICATION):
             return 0
-        extra = self._conflict_extra(flat_addrs)
+        return self._conflict_extra(flat_addrs)
+
+    def account_read(self, n_addrs: int, extra: int) -> None:
+        """Charge the counters/trace for one priced vector of reads."""
+        self.reads += n_addrs
         self.conflict_cycles += extra
         if extra and self.trace is not None:
             self.trace.emit(EventKind.BANK_CONFLICT, self.sram.name,
-                            (extra, len(flat_addrs)))
+                            (extra, n_addrs))
+
+    def read_cost(self, flat_addrs: Sequence[int]) -> int:
+        """Extra cycles (beyond 1) to service one vector of lane reads."""
+        extra = self.read_extra(flat_addrs)
+        self.account_read(len(flat_addrs), extra)
         return extra
 
     def _conflict_extra(self, flat_addrs) -> int:
@@ -128,22 +137,28 @@ class ScratchpadSim:
         worst = max(counts.values(), default=1)
         return worst - 1
 
-    def write_cost(self, flat_addrs: Sequence[int]) -> int:
-        """Extra cycles to service one vector of lane writes."""
-        self.writes += len(flat_addrs)
+    def write_extra(self, flat_addrs: Sequence[int]) -> int:
+        """Pure conflict cost of one vector of lane writes."""
         mode = self.sram.banking
         if mode is BankingMode.DUPLICATION:
             # every write is broadcast to all banks: one word per cycle
-            extra = max(0, len(flat_addrs) - 1)
-            self.conflict_cycles += extra
-        elif mode in (BankingMode.FIFO, BankingMode.LINE_BUFFER):
+            return max(0, len(flat_addrs) - 1)
+        if mode in (BankingMode.FIFO, BankingMode.LINE_BUFFER):
             return 0
-        else:
-            extra = self._conflict_extra(flat_addrs)
-            self.conflict_cycles += extra
+        return self._conflict_extra(flat_addrs)
+
+    def account_write(self, n_addrs: int, extra: int) -> None:
+        """Charge the counters/trace for one priced vector of writes."""
+        self.writes += n_addrs
+        self.conflict_cycles += extra
         if extra and self.trace is not None:
             self.trace.emit(EventKind.BANK_CONFLICT, self.sram.name,
-                            (extra, len(flat_addrs)))
+                            (extra, n_addrs))
+
+    def write_cost(self, flat_addrs: Sequence[int]) -> int:
+        """Extra cycles to service one vector of lane writes."""
+        extra = self.write_extra(flat_addrs)
+        self.account_write(len(flat_addrs), extra)
         return extra
 
 

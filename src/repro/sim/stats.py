@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict
 
 from repro.arch.params import DEFAULT, PlasticineParams
@@ -36,6 +36,14 @@ class SimStats:
     #: DRAM statistics snapshot (filled by the machine at the end)
     dram: Dict[str, int] = field(default_factory=dict)
     dram_busy_fraction: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Every counter as a plain nested dict (equivalence checks)."""
+        return asdict(self)
+
+    def same_as(self, other: "SimStats") -> bool:
+        """Field-exact equality (the batch/sequential contract)."""
+        return self.as_dict() == other.as_dict()
 
     def busy(self, leaf_name: str, cycles: int = 1) -> None:
         """Charge busy cycles to a leaf."""

@@ -1,0 +1,43 @@
+"""The batched simulated sweeps added next to the Figure 7 area model."""
+
+import pytest
+
+from repro.eval.figure7 import SIM_SWEEPS, render_sim, sim_sweep
+
+
+def test_sim_sweep_stages_curve():
+    result = sim_sweep("stages", (3, 6, 12), app="innerproduct",
+                       scale="tiny")
+    curve = result["curve"]
+    assert set(curve) == {3, 6, 12}
+    assert all(isinstance(c, int) and c > 0 for c in curve.values())
+    # a shallower pipeline cannot be slower than a deeper one here:
+    # depth only adds fill latency on this design
+    assert curve[3] <= curve[12]
+    assert result["cohorts"] == 1
+    assert result["replayed"] == 2
+
+
+def test_sim_sweep_shares_one_leader_across_values():
+    result = sim_sweep("banks", (4, 16), app="innerproduct",
+                       scale="tiny")
+    assert result["replayed"] == 1
+    assert result["curve"][16] <= result["curve"][4]
+
+
+def test_sim_sweep_rejects_area_only_parameters():
+    with pytest.raises(ValueError, match="cannot sweep"):
+        sim_sweep("regs_per_stage", (2, 4))
+
+
+def test_render_sim_marks_best_value():
+    result = sim_sweep("stages", (4, 8), app="innerproduct",
+                       scale="tiny")
+    out = render_sim(result)
+    assert "1.00x" in out
+    assert "simulated sweep: stages" in out
+
+
+def test_sim_sweeps_are_timing_only():
+    from repro.sim.batch import TIMING_KEYS
+    assert set(SIM_SWEEPS) <= TIMING_KEYS

@@ -1,0 +1,43 @@
+"""Batch-vs-sequential oracle over generated specs and the corpus."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (BATCH_VARIANTS, gen_spec, load_spec,
+                        run_campaign, run_oracle_batched)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_generated_specs_batch_equivalent(seed):
+    result = run_oracle_batched(gen_spec(seed), trip_error=True)
+    assert result.ok, result.describe()
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("path", sorted(CORPUS.glob("*.json")),
+                         ids=lambda p: p.stem)
+def test_corpus_batch_equivalent(path):
+    result = run_oracle_batched(load_spec(path), trip_error=True)
+    assert result.ok, result.describe()
+
+
+def test_default_variants_cover_timing_axes():
+    keys = set().union(*(set(v) for v in BATCH_VARIANTS))
+    assert {"stages", "banks", "dram_queue_depth"} <= keys
+    assert {} in BATCH_VARIANTS  # the as-compiled design must be pinned
+
+
+def test_campaign_batched_mode_counts():
+    campaign = run_campaign(seed=0, runs=3, batched=True)
+    assert campaign.divergences == 0
+    assert campaign.batched_ok == 3
+    assert "batched oracle: 3 specs" in campaign.summary()
+
+
+def test_campaign_default_skips_batched_oracle():
+    campaign = run_campaign(seed=0, runs=2)
+    assert campaign.batched_ok == 0
+    assert "batched oracle" not in campaign.summary()

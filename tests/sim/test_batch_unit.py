@@ -1,0 +1,118 @@
+"""Unit tests for the batch-run parameter plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.compiler import compile_program
+from repro.errors import ConfigError
+from repro.sim.batch import (TIMING_KEYS, cohort_key, instantiate,
+                             normalize_params, run_batch)
+
+
+def _compiled(name="gemm", scale="tiny"):
+    app = get_app(name)
+    return compile_program(app.build(scale))
+
+
+def test_normalize_none_is_empty():
+    assert normalize_params(None) == {}
+    assert normalize_params({}) == {}
+
+
+def test_normalize_rejects_unknown_keys():
+    with pytest.raises(ConfigError, match="unsupported batch override"):
+        normalize_params({"stages": 4, "clock_ghz": 2})
+
+
+def test_normalize_rejects_non_dict():
+    with pytest.raises(ConfigError, match="must be dicts"):
+        normalize_params([("stages", 4)])
+
+
+def test_normalize_rejects_stage_alias_conflict():
+    with pytest.raises(ConfigError, match="aliases"):
+        normalize_params({"stages": 4, "pipeline_depth": 6})
+
+
+def test_normalize_rejects_non_dict_data():
+    with pytest.raises(ConfigError, match="'data' override"):
+        normalize_params({"data": [1, 2, 3]})
+
+
+def test_cohort_key_ignores_timing_overrides():
+    assert cohort_key({k: 4 for k in TIMING_KEYS
+                       if k != "data"}) == cohort_key({})
+
+
+def test_cohort_key_splits_on_data():
+    a = {"data": {"x": np.arange(4)}}
+    b = {"data": {"x": np.arange(4) + 1}}
+    assert cohort_key(a) != cohort_key(b)
+    assert cohort_key(a) == cohort_key(
+        {"data": {"x": np.arange(4)}, "stages": 9})
+
+
+def test_cohort_key_order_insensitive():
+    x, y = np.arange(3), np.ones(2)
+    assert cohort_key({"data": {"a": x, "b": y}}) == cohort_key(
+        {"data": {"b": y, "a": x}})
+
+
+def test_instantiate_applies_timing_overrides():
+    compiled = _compiled()
+    machine = instantiate((compiled.dhdl, compiled.config),
+                          {"stages": 7, "banks": 4, "output_hops": 3,
+                           "dram_queue_depth": 5, "watchdog": 123,
+                           "max_cycles": 456})
+    for timing in machine.config.leaf_timing.values():
+        assert timing.pipeline_depth == 7
+        assert timing.output_hops == 3
+    assert machine.config.banks_override == 4
+    assert all(s.banks == 4 for s in machine.mem.scratchpads.values())
+    assert all(ch.queue_depth == 5 for ch in machine.dram.channels)
+    assert machine.watchdog == 123
+    assert machine.max_cycles == 456
+
+
+def test_instantiate_defaults_leave_config_alone():
+    compiled = _compiled()
+    machine = instantiate((compiled.dhdl, compiled.config), {})
+    assert machine.config is compiled.config
+
+
+def test_instantiate_rejects_unknown_data_name():
+    compiled = _compiled()
+    with pytest.raises(ConfigError, match="no DRAM array"):
+        instantiate((compiled.dhdl, compiled.config),
+                    {"data": {"nonesuch": np.zeros(4)}})
+
+
+def test_instantiate_rejects_oversize_data():
+    compiled = _compiled()
+    name = compiled.dhdl.drams[0].name
+    words = compiled.dhdl.drams[0].words()
+    with pytest.raises(ConfigError, match="words"):
+        instantiate((compiled.dhdl, compiled.config),
+                    {"data": {name: np.zeros(words + 1)}})
+
+
+def test_run_batch_rejects_bad_scheduler():
+    compiled = _compiled()
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError, match="unknown scheduler"):
+        run_batch((compiled.dhdl, compiled.config), [{}],
+                  scheduler="quantum")
+
+
+def test_run_batch_rejects_bad_source():
+    with pytest.raises(ConfigError, match="cannot batch-run"):
+        run_batch("gemm", [{}])
+
+
+def test_run_batch_empty_param_list():
+    compiled = _compiled()
+    result = run_batch((compiled.dhdl, compiled.config), [])
+    assert len(result) == 0
+    assert result.ok
+    assert result.cohorts == 0

@@ -1,0 +1,62 @@
+"""The coverage ratchet gate (tools/coverage_gate.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+spec = importlib.util.spec_from_file_location(
+    "coverage_gate", REPO / "tools" / "coverage_gate.py")
+coverage_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(coverage_gate)
+
+
+def _cov(percent):
+    return {"totals": {"percent_covered": percent}}
+
+
+def test_gate_passes_above_floor():
+    summary, status = coverage_gate.gate(
+        _cov(72.5), {"min_percent": 70.0})
+    assert status == 0
+    assert "Pass." in summary
+    assert "72.50%" in summary and "70.00%" in summary
+
+
+def test_gate_fails_below_floor():
+    summary, status = coverage_gate.gate(
+        _cov(69.9), {"min_percent": 70.0})
+    assert status == 1
+    assert "FAIL" in summary
+    assert "do not lower" in summary
+
+
+def test_gate_suggests_ratcheting_on_headroom():
+    summary, status = coverage_gate.gate(
+        _cov(80.0), {"min_percent": 70.0, "ratchet_margin": 3.0})
+    assert status == 0
+    assert "ratcheting" in summary
+
+
+def test_main_end_to_end(tmp_path, capsys):
+    cov = tmp_path / "coverage.json"
+    ratchet = tmp_path / "ratchet.json"
+    cov.write_text(json.dumps(_cov(65.0)))
+    ratchet.write_text(json.dumps({"min_percent": 60.0}))
+    assert coverage_gate.main(["gate", str(cov), str(ratchet)]) == 0
+    assert "Coverage ratchet" in capsys.readouterr().out
+    ratchet.write_text(json.dumps({"min_percent": 99.0}))
+    assert coverage_gate.main(["gate", str(cov), str(ratchet)]) == 1
+    assert "FAIL" in capsys.readouterr().err
+
+
+def test_committed_ratchet_is_wired():
+    committed = json.loads(
+        (REPO / "benchmarks" / "coverage_ratchet.json").read_text())
+    assert committed["min_percent"] >= 60.0
+    summary, status = coverage_gate.gate(_cov(100.0), committed)
+    assert status == 0
+
+
+def test_main_usage_error():
+    assert coverage_gate.main(["gate"]) == 2

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Coverage ratchet gate for CI.
+
+Usage::
+
+    python tools/coverage_gate.py coverage.json \\
+        benchmarks/coverage_ratchet.json
+
+Reads the ``pytest --cov --cov-report=json`` output, compares the total
+line coverage against the committed floor in the ratchet file, and
+prints a Markdown summary (piped into ``$GITHUB_STEP_SUMMARY`` by the
+coverage job).  Exits 1 if coverage fell below the floor.
+
+The floor only moves *up*, and only by a human commit: when measured
+coverage clears the floor by more than ``ratchet_margin`` points, the
+gate prints a reminder to raise it — it never fails for being too good,
+and it never auto-edits the ratchet file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def gate(coverage: dict, ratchet: dict) -> tuple:
+    """(markdown summary, exit status) for one coverage report."""
+    percent = float(coverage["totals"]["percent_covered"])
+    floor = float(ratchet["min_percent"])
+    margin = float(ratchet.get("ratchet_margin", 3.0))
+    delta = percent - floor
+    lines = [
+        "### Coverage ratchet",
+        "",
+        "| measured | committed floor | delta |",
+        "| --- | --- | --- |",
+        f"| {percent:.2f}% | {floor:.2f}% | {delta:+.2f} pts |",
+        "",
+    ]
+    if percent < floor:
+        lines.append(
+            f"**FAIL** — coverage fell below the committed floor. "
+            f"Add tests for what this change touched; do not lower "
+            f"`min_percent`.")
+        return "\n".join(lines), 1
+    if delta > margin:
+        lines.append(
+            f"Coverage clears the floor by {delta:.1f} points — "
+            f"consider ratcheting `min_percent` up to about "
+            f"{percent - 1.0:.0f} in `benchmarks/coverage_ratchet.json` "
+            f"so the gain is locked in.")
+    else:
+        lines.append("Pass.")
+    return "\n".join(lines), 0
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        coverage = json.load(fh)
+    with open(argv[2]) as fh:
+        ratchet = json.load(fh)
+    summary, status = gate(coverage, ratchet)
+    print(summary)
+    if status:
+        print(f"FAIL: coverage "
+              f"{coverage['totals']['percent_covered']:.2f}% < floor "
+              f"{ratchet['min_percent']:.2f}%", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
