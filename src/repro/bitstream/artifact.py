@@ -112,8 +112,13 @@ def _requirements_from_dict(data: Optional[dict]
 
 
 def config_to_dict(config: FabricConfig) -> dict:
-    """Serialize a :class:`FabricConfig` to a JSON-compatible dict."""
-    return {
+    """Serialize a :class:`FabricConfig` to a JSON-compatible dict.
+
+    The ``region`` key is emitted only for region-constrained compiles:
+    whole-fabric artifacts keep the exact canonical bytes (and golden
+    content hashes) they had before regions existed.
+    """
+    data = {
         "params": params_to_dict(config.params),
         "leaf_timing": {name: asdict(t)
                         for name, t in config.leaf_timing.items()},
@@ -132,11 +137,16 @@ def config_to_dict(config: FabricConfig) -> dict:
         "coalesce_entries": config.coalesce_entries,
         "banks_override": config.banks_override,
     }
+    if config.region is not None:
+        data["region"] = list(config.region)
+    return data
 
 
 def config_from_dict(data: dict) -> FabricConfig:
     """Rebuild a :class:`FabricConfig` from :func:`config_to_dict`."""
+    region = data.get("region")
     return FabricConfig(
+        region=tuple(region) if region is not None else None,
         params=params_from_dict(data["params"]),
         leaf_timing={name: LeafTiming(**t)
                      for name, t in data["leaf_timing"].items()},

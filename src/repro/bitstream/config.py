@@ -111,6 +111,11 @@ class FabricConfig:
     coalesce_entries: int = 48
     #: override scratchpad banks (ablations; None = params.pmu.banks)
     banks_override: Optional[int] = None
+    #: rectangular sub-grid this design was placed into, as
+    #: ``(col0, row0, cols, rows)``; None = the whole fabric.  Region
+    #: compiles (multi-tenancy) record it so packers can keep tenants
+    #: disjoint without re-deriving footprints.
+    region: Optional[Tuple[int, int, int, int]] = None
 
     def timing_for(self, leaf_name: str) -> LeafTiming:
         """Timing for a leaf, with a safe default for un-mapped leaves."""

@@ -265,12 +265,51 @@ def _cmd_run_batch(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_run_multi(args) -> int:
+    from repro.errors import MappingError
+    from repro.tenancy import co_run
+
+    started = time.time()
+    try:
+        res = co_run(args.multi, scale=args.scale,
+                     watchdog=args.watchdog,
+                     max_cycles=args.max_cycles)
+    except MappingError as err:
+        print(f"repro run --multi: {err}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - started
+    n = len(res.tenants)
+    print(f"co-resident fabric: {n} tenants, "
+          f"{res.fabric_cycles} cycles ({elapsed * 1e3:.0f} ms)")
+    print(f"  {'tenant':14s} {'region':>10s} {'cycles':>8s} "
+          f"{'dram B/cyc':>10s}  validated")
+    for t in res.tenants:
+        if t.region:
+            col0, row0, cols, rows = t.region
+            region = f"{cols}x{rows}@({col0},{row0})"
+        else:
+            region = "full"
+        bpc = t.stats.dram.get("bytes", 0) / max(1, t.stats.cycles)
+        print(f"  {t.name:14s} {region:>10s} {t.stats.cycles:8d} "
+              f"{bpc:10.1f}  {'yes' if t.validated else 'no'}")
+    util = ", ".join(f"{ch}={v['util'] * 100:.1f}%"
+                     for ch, v in sorted(res.channel_util.items()))
+    print(f"  shared DRAM channel utilization: {util}")
+    for t in res.tenants:
+        share = ", ".join(f"{ch}={v['util'] * 100:.1f}%"
+                          for ch, v in sorted(t.channel_util.items()))
+        print(f"    {t.name}: {share}")
+    return 0
+
+
 def _cmd_run(args) -> int:
     from repro.apps import get_app
     from repro.compiler import compile_program
     from repro.dhdl import format_program
     from repro.sim import Machine
 
+    if args.multi:
+        return _cmd_run_multi(args)
     if args.batch:
         if not args.app and not args.artifact:
             print("repro run --batch: give an APP name or --artifact "
@@ -506,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(comp, jobs=False)
     run = sub.add_parser("run", help="compile+simulate one benchmark")
     run.add_argument("app", nargs="?", default=None)
+    run.add_argument("--multi", nargs="+", default=None, metavar="APP",
+                     help="co-simulate several benchmarks as tenants "
+                          "of one shared fabric (disjoint regions, "
+                          "shared DRAM channels, per-tenant stats)")
     run.add_argument("--artifact", default=None, metavar="PATH",
                      help="simulate a saved bitstream artifact instead "
                           "of compiling")
@@ -545,6 +588,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "forward progress")
     bench = sub.add_parser(
         "bench", help="simulator performance harness")
+    bench.add_argument("--multi", action="store_true",
+                       help="benchmark co-resident multi-tenancy: solo "
+                            "vs shared-fabric cycles, aggregate "
+                            "throughput and solo-equivalence (gate "
+                            "with --baseline "
+                            "benchmarks/multi_baseline.json)")
     bench.add_argument("--batch", action="store_true",
                        help="benchmark Machine.run_batch on a Figure-7 "
                             "style 78-instance grid instead of the "
@@ -677,6 +726,12 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="request a stall-attribution trace on every "
                            "N-th request (0 disables)")
+    load.add_argument("--multi-every", type=int, default=0,
+                      metavar="N",
+                      help="mix in multi-tenant work: every N-th "
+                           "request is a POST /multi pair, with a "
+                           "coschedule-opted app job between (0 "
+                           "disables)")
     load.add_argument("--jobs", type=_positive_int, default=2,
                       metavar="N", help="--spawn: server worker count")
     load.add_argument("--queue-depth", type=_positive_int, default=64,

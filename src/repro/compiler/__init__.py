@@ -4,8 +4,9 @@ from repro.compiler.driver import CompiledApp, compile_program
 from repro.compiler.lowering import Lowerer, lower
 from repro.compiler.partition import (PcuPartition, PmuPartition, chip_fits,
                                       feasible, partition_pcu,
-                                      partition_pmu)
-from repro.compiler.place_route import Fabric, Net
+                                      partition_pmu, region_fits)
+from repro.compiler.place_route import (Fabric, Net, Region,
+                                        region_capacity, site_kinds)
 from repro.compiler.rewrite import rewrite, substitute
 from repro.compiler.scheduling import StageSchedule, schedule
 
@@ -13,8 +14,8 @@ __all__ = [
     "CompiledApp", "compile_program",
     "Lowerer", "lower",
     "PcuPartition", "PmuPartition", "chip_fits", "feasible",
-    "partition_pcu", "partition_pmu",
-    "Fabric", "Net",
+    "partition_pcu", "partition_pmu", "region_fits",
+    "Fabric", "Net", "Region", "region_capacity", "site_kinds",
     "rewrite", "substitute",
     "StageSchedule", "schedule",
 ]

@@ -23,15 +23,24 @@ from repro.patterns.program import Program
 
 def freeze_program(program: Program, app: str, scale: str,
                    params: PlasticineParams = DEFAULT,
-                   options: Optional[CompileOptions] = None) -> Bitstream:
-    """Compile an already-built pattern program into an artifact."""
+                   options: Optional[CompileOptions] = None,
+                   region=None) -> Bitstream:
+    """Compile an already-built pattern program into an artifact.
+
+    ``region`` (a :class:`~repro.compiler.place_route.Region`) produces
+    a region-constrained artifact for multi-tenant packing.  Region is
+    *not* part of :class:`CompileOptions`, so region artifacts must not
+    go through the compile cache (the tenancy packer compiles them
+    directly — they are packing-specific, not reusable).
+    """
     options = options or CompileOptions()
     compiled = compile_program(
         program, params=params,
         tile_words=options.tile_words,
         whole_budget=options.whole_budget,
         ags_per_transfer=options.ags_per_transfer,
-        pmu_fraction=options.pmu_fraction)
+        pmu_fraction=options.pmu_fraction,
+        region=region)
     if not compiled.config.dram_base:
         compiled.config.dram_base = assign_bases(compiled.dhdl.drams)
     return Bitstream(app, scale, compiled.dhdl, compiled.config, options)
@@ -39,13 +48,13 @@ def freeze_program(program: Program, app: str, scale: str,
 
 def compile_to_bitstream(app: str, scale: str = "small",
                          params: PlasticineParams = DEFAULT,
-                         options: Optional[CompileOptions] = None
-                         ) -> Bitstream:
+                         options: Optional[CompileOptions] = None,
+                         region=None) -> Bitstream:
     """Build a registry app at ``scale`` and compile it to an artifact."""
     from repro.apps.registry import get_app  # lazy: apps sit above us
     program = get_app(app).build(scale)
     return freeze_program(program, app, scale, params=params,
-                          options=options)
+                          options=options, region=region)
 
 
 def compile_app_cached(app: str, scale: str = "small",

@@ -23,8 +23,8 @@ from repro.bitstream.config import (AgAssignment, FabricConfig, LeafTiming,
 from repro.compiler.lowering import Lowerer
 from repro.compiler.partition import (chip_fits, feasible, partition_pcu,
                                       partition_pmu, pcu_requirement,
-                                      pmu_requirement)
-from repro.compiler.place_route import Fabric
+                                      pmu_requirement, region_fits)
+from repro.compiler.place_route import Fabric, Region, region_capacity
 from repro.compiler.scheduling import schedule
 from repro.dhdl.analysis import mem_writes
 from repro.dhdl.ir import (DhdlProgram, Gather, InnerCompute,
@@ -55,17 +55,23 @@ def compile_program(program: Program,
                     tile_words: int = 512,
                     whole_budget: int = 16384,
                     ags_per_transfer: int = 2,
-                    pmu_fraction: float = 0.5) -> CompiledApp:
+                    pmu_fraction: float = 0.5,
+                    region: Optional[Region] = None) -> CompiledApp:
     """Compile a pattern program onto the given architecture.
 
     ``pmu_fraction`` changes the fabric's PMU:PCU mix (Section 3.7's
     ratio study); 0.5 is the paper's 1:1 checkerboard.
+
+    ``region`` constrains placement and routing to a rectangular
+    sub-grid (multi-tenancy); a design whose footprint exceeds the
+    region raises :class:`~repro.errors.MappingError` instead of
+    spilling onto sites outside it.
     """
     dhdl = Lowerer(program, tile_words=tile_words,
                    whole_budget=whole_budget).lower()
     config = FabricConfig(params=params)
     requirements = DesignRequirements(program.name)
-    fabric = Fabric(params, pmu_fraction=pmu_fraction)
+    fabric = Fabric(params, pmu_fraction=pmu_fraction, region=region)
 
     inner_leaves = [l for l in dhdl.leaves()
                     if isinstance(l, InnerCompute)]
@@ -120,10 +126,15 @@ def compile_program(program: Program,
         requirements.pmus.append(pmu_requirement(
             sram.words(), sram.nbuf, params.pmu.banks))
 
-    pcu_budget = (params.num_units - int(params.num_units
-                                         * pmu_fraction))
-    chip_fits(fabric.pcus_used(), fabric.pmus_used(),
-              pcu_budget, params.num_units - pcu_budget)
+    if region is not None:
+        region_fits(fabric.pcus_used(), fabric.pmus_used(), region,
+                    region_capacity(params, region, pmu_fraction))
+        config.region = region.as_tuple()
+    else:
+        pcu_budget = (params.num_units - int(params.num_units
+                                             * pmu_fraction))
+        chip_fits(fabric.pcus_used(), fabric.pmus_used(),
+                  pcu_budget, params.num_units - pcu_budget)
 
     # 3. route producer->consumer nets (vector network) and refine the
     # leaf timings with real hop distances

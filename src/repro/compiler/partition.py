@@ -141,3 +141,24 @@ def chip_fits(num_pcus: int, num_pmus: int, pcu_budget: int,
         raise MappingError(
             f"design needs {num_pmus} PMUs but the fabric has "
             f"{pmu_budget}")
+
+
+def region_fits(num_pcus: int, num_pmus: int, region,
+                capacity: "tuple[int, int]") -> None:
+    """Raise MappingError when the design exceeds its *region*.
+
+    A design whose footprint spills past the requested rectangle must
+    be rejected outright — silently wrapping onto sites outside the
+    region would let co-resident tenants overlap.  ``capacity`` is the
+    ``(pcu_sites, pmu_sites)`` pair the region actually provides (see
+    :func:`repro.compiler.place_route.region_capacity`).
+    """
+    pcu_cap, pmu_cap = capacity
+    if num_pcus > pcu_cap:
+        raise MappingError(
+            f"design needs {num_pcus} PCUs but region {region} "
+            f"provides {pcu_cap}; enlarge the region")
+    if num_pmus > pmu_cap:
+        raise MappingError(
+            f"design needs {num_pmus} PMUs but region {region} "
+            f"provides {pmu_cap}; enlarge the region")

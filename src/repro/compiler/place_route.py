@@ -6,18 +6,116 @@ the three networks.  Placement is greedy: each virtual unit takes the
 free site of the right kind nearest its already-placed neighbours.
 Routing is BFS over the switch grid with per-link capacity; a route's
 length gives the hop latency the simulator charges.
+
+Placement may be constrained to a rectangular :class:`Region` of the
+grid (multi-tenancy: several independent designs packed onto disjoint
+sub-grids).  A region-scoped fabric draws sites only from inside its
+rectangle and routes only through the region's own switches, so two
+fabrics over disjoint regions can never share a unit or a link.  The
+kind of each site (PCU vs PMU) is a function of its *absolute* grid
+position, so a region carved out of the full fabric sees exactly the
+sites the full-fabric checkerboard puts there.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.params import DEFAULT, PlasticineParams
 from repro.errors import MappingError
 
 Site = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A rectangular sub-grid: ``cols x rows`` units anchored at the
+    north-west corner ``(col0, row0)``."""
+
+    col0: int
+    row0: int
+    cols: int
+    rows: int
+
+    def validate(self, params: PlasticineParams) -> "Region":
+        """Raise :class:`MappingError` unless the rectangle lies fully
+        inside the fabric."""
+        if self.cols < 1 or self.rows < 1:
+            raise MappingError(f"region {self} is empty")
+        if (self.col0 < 0 or self.row0 < 0
+                or self.col0 + self.cols > params.grid_cols
+                or self.row0 + self.rows > params.grid_rows):
+            raise MappingError(
+                f"region {self} does not fit the "
+                f"{params.grid_cols}x{params.grid_rows} fabric")
+        return self
+
+    @staticmethod
+    def full(params: PlasticineParams) -> "Region":
+        """The whole fabric as a region."""
+        return Region(0, 0, params.grid_cols, params.grid_rows)
+
+    def contains(self, site: Site) -> bool:
+        """Is the unit site inside this rectangle?"""
+        col, row = site
+        return (self.col0 <= col < self.col0 + self.cols
+                and self.row0 <= row < self.row0 + self.rows)
+
+    def overlaps(self, other: "Region") -> bool:
+        """Do two rectangles share any unit site?"""
+        return not (self.col0 + self.cols <= other.col0
+                    or other.col0 + other.cols <= self.col0
+                    or self.row0 + self.rows <= other.row0
+                    or other.row0 + other.rows <= self.row0)
+
+    def sites(self) -> Iterator[Site]:
+        """Row-major iteration over the unit sites inside."""
+        for row in range(self.row0, self.row0 + self.rows):
+            for col in range(self.col0, self.col0 + self.cols):
+                yield (col, row)
+
+    @property
+    def area(self) -> int:
+        """Unit sites covered."""
+        return self.cols * self.rows
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """Serializable form (``FabricConfig.region``)."""
+        return (self.col0, self.row0, self.cols, self.rows)
+
+    def __str__(self):
+        return (f"{self.cols}x{self.rows}@"
+                f"({self.col0},{self.row0})")
+
+
+def site_kinds(params: PlasticineParams,
+               pmu_fraction: float = 0.5) -> Dict[Site, str]:
+    """Kind (``"pcu"``/``"pmu"``) of every site on the full grid.
+
+    The quota scan runs over the *whole* fabric regardless of any
+    region, so a site's kind never depends on which region looks at it.
+    """
+    kinds: Dict[Site, str] = {}
+    quota = 0.0
+    for row in range(params.grid_rows):
+        for col in range(params.grid_cols):
+            quota += pmu_fraction
+            if quota >= 1.0:
+                quota -= 1.0
+                kinds[(col, row)] = "pmu"
+            else:
+                kinds[(col, row)] = "pcu"
+    return kinds
+
+
+def region_capacity(params: PlasticineParams, region: Region,
+                    pmu_fraction: float = 0.5) -> Tuple[int, int]:
+    """``(pcu_sites, pmu_sites)`` the region contributes."""
+    kinds = site_kinds(params, pmu_fraction)
+    pcus = sum(1 for s in region.sites() if kinds[s] == "pcu")
+    return pcus, region.area - pcus
 
 
 @dataclass
@@ -40,12 +138,22 @@ class Fabric:
 
     def __init__(self, params: PlasticineParams = DEFAULT,
                  tracks_per_link: int = 4,
-                 pmu_fraction: float = 0.5):
+                 pmu_fraction: float = 0.5,
+                 region: Optional[Region] = None):
         """``pmu_fraction`` sets the PMU:PCU mix (0.5 = the paper's 1:1
-        checkerboard; 2/3 = the 2:1 ratio studied in Section 3.7)."""
+        checkerboard; 2/3 = the 2:1 ratio studied in Section 3.7).
+
+        ``region`` restricts placement and routing to a rectangular
+        sub-grid (``None`` = the whole fabric).  The checkerboard
+        pattern stays anchored to the full grid, so disjoint regions of
+        one chip agree on which sites are PCUs and which are PMUs.
+        """
         self.params = params
         self.tracks = tracks_per_link
         self.pmu_fraction = pmu_fraction
+        self.region = (region.validate(params) if region is not None
+                       else Region.full(params))
+        self._constrained = region is not None
         self.free_pcus: List[Site] = []
         self.free_pmus: List[Site] = []
         quota = 0.0
@@ -54,8 +162,9 @@ class Fabric:
                 quota += pmu_fraction
                 if quota >= 1.0:
                     quota -= 1.0
-                    self.free_pmus.append((col, row))
-                else:
+                    if self.region.contains((col, row)):
+                        self.free_pmus.append((col, row))
+                elif self.region.contains((col, row)):
                     self.free_pcus.append((col, row))
         self._initial_pcus = len(self.free_pcus)
         self._initial_pmus = len(self.free_pmus)
@@ -67,6 +176,13 @@ class Fabric:
     def _take_nearest(self, pool: List[Site],
                       near: Optional[Site]) -> Site:
         if not pool:
+            if self._constrained:
+                raise MappingError(
+                    f"design footprint exceeds region "
+                    f"{self.region}: no free unit of the requested "
+                    f"kind left ({self._initial_pcus} PCU / "
+                    f"{self._initial_pmus} PMU sites total); choose a "
+                    f"larger region instead of spilling outside it")
             raise MappingError("fabric exhausted: no free unit of the "
                                "requested kind")
         if near is None:
@@ -139,8 +255,11 @@ class Fabric:
 
     def _bfs(self, start: Site, goals: Set[Site],
              network: str) -> Optional[List[Site]]:
-        max_col = self.params.grid_cols
-        max_row = self.params.grid_rows
+        # routes stay inside the region's own switch sub-grid, so
+        # tenants on disjoint regions never contend for a link
+        min_col, min_row = self.region.col0, self.region.row0
+        max_col = self.region.col0 + self.region.cols
+        max_row = self.region.row0 + self.region.rows
         frontier = deque([start])
         came: Dict[Site, Optional[Site]] = {start: None}
         while frontier:
@@ -153,7 +272,8 @@ class Fabric:
             col, row = node
             for nxt in ((col + 1, row), (col - 1, row), (col, row + 1),
                         (col, row - 1)):
-                if not (0 <= nxt[0] <= max_col and 0 <= nxt[1] <= max_row):
+                if not (min_col <= nxt[0] <= max_col
+                        and min_row <= nxt[1] <= max_row):
                     continue
                 if nxt in came:
                     continue

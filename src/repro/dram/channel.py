@@ -31,6 +31,14 @@ class Channel:
         self.bus_free_at = 0
         self.completed: List[DramRequest] = []
         self.bytes_moved = 0
+        #: bursts issued (== bytes_moved / burst_bytes; the per-channel
+        #: utilization counters divide this by elapsed cycles)
+        self.bursts = 0
+        #: tenant id -> per-tenant issue tallies (multi-tenant runs)
+        self.tenant_stats: dict = {}
+        #: tenant id -> tracer (multi-tenant runs attach one per tenant;
+        #: a request's events go to its issuing tenant's tracer)
+        self.tenant_traces: dict = {}
         #: recent row-activation times, for the tFAW window
         self._activates: List[int] = []
         #: attached by the DramModel when tracing is enabled
@@ -64,17 +72,22 @@ class Channel:
             self.on_dequeue()
         _, bank_id, row, _ = self.geometry.map_address(choice.byte_addr)
         bank = self.banks[bank_id]
-        if not bank.is_hit(row):
+        hit = bank.is_hit(row)
+        empty = bank.open_row is None
+        if not hit:
             self._activates.append(now)
-        if self.trace is not None:
-            if bank.is_hit(row):
+        trace = self.trace
+        if self.tenant_traces:
+            trace = self.tenant_traces.get(choice.tenant, trace)
+        if trace is not None:
+            if hit:
                 kind = EventKind.DRAM_ROW_HIT
-            elif bank.open_row is None:
+            elif empty:
                 kind = EventKind.DRAM_ROW_EMPTY
             else:
                 kind = EventKind.DRAM_ROW_MISS
-            self.trace.emit(kind, self.trace_name,
-                            (bank_id, len(self.queue)))
+            trace.emit(kind, self.trace_name,
+                       (bank_id, len(self.queue)))
         done = bank.issue(row, now, choice.is_write)
         # serialise the data bus: burst occupies t_burst ending at `done`
         burst_start = done - self.timing.t_burst
@@ -84,6 +97,21 @@ class Channel:
         self.bus_free_at = done
         choice.complete_cycle = done
         self.bytes_moved += self.geometry.burst_bytes
+        self.bursts += 1
+        if choice.tenant is not None:
+            tally = self.tenant_stats.get(choice.tenant)
+            if tally is None:
+                tally = self.tenant_stats[choice.tenant] = {
+                    "row_hits": 0, "row_misses": 0, "row_empties": 0,
+                    "bytes": 0, "bursts": 0}
+            if hit:
+                tally["row_hits"] += 1
+            elif empty:
+                tally["row_empties"] += 1
+            else:
+                tally["row_misses"] += 1
+            tally["bytes"] += self.geometry.burst_bytes
+            tally["bursts"] += 1
         self.completed.append(choice)
 
     def _schedule(self, now: int) -> Optional[DramRequest]:

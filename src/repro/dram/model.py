@@ -34,13 +34,27 @@ class DramModel:
         self.cycle = 0
         self.reads = 0
         self.writes = 0
+        #: tenant whose units are currently ticking (set by the
+        #: multi-tenant Fabric before each tenant's tick pass; None in
+        #: solo runs).  ``submit`` stamps it onto every request.
+        self.tenant: Optional[int] = None
+        #: tenant id -> submit/deliver tallies (multi-tenant runs only)
+        self._tenant_counts: Dict[int, Dict[str, int]] = {}
         self._callbacks: Dict[int, Callable[[DramRequest], None]] = {}
         self._completed: List[DramRequest] = []
 
-    def attach_trace(self, tracer) -> None:
-        """Register every channel as an event track on ``tracer``."""
+    def attach_trace(self, tracer, tenant: Optional[int] = None) -> None:
+        """Register every channel as an event track on ``tracer``.
+
+        With ``tenant`` given, the tracer only receives events for that
+        tenant's requests — each co-resident tenant attaches its own
+        tracer and sees its own slice of the shared channels.
+        """
         for k, channel in enumerate(self.channels):
-            channel.trace = tracer
+            if tenant is None:
+                channel.trace = tracer
+            else:
+                channel.tenant_traces[tenant] = tracer
             channel.trace_name = f"ch{k}"
             tracer.register_track(channel.trace_name, "dram")
 
@@ -56,13 +70,23 @@ class DramModel:
     def submit(self, request: DramRequest,
                callback: Optional[Callable[[DramRequest], None]] = None
                ) -> None:
-        """Enqueue one burst request."""
+        """Enqueue one burst request (stamped with the current tenant)."""
         channel = self.channels[self.channel_of(request.byte_addr)]
         channel.submit(request, self.cycle)
         if request.is_write:
             self.writes += 1
         else:
             self.reads += 1
+        tenant = self.tenant
+        if tenant is not None:
+            request.tenant = tenant
+            counts = self._tenant_counts.get(tenant)
+            if counts is None:
+                counts = self._tenant_counts[tenant] = {
+                    "reads": 0, "writes": 0, "submitted": 0,
+                    "delivered": 0}
+            counts["writes" if request.is_write else "reads"] += 1
+            counts["submitted"] += 1
         if callback is not None:
             self._callbacks[request.req_id] = callback
 
@@ -106,6 +130,10 @@ class DramModel:
         self._completed = [r for r in self._completed
                            if r.complete_cycle > self.cycle]
         for request in ready:
+            if request.tenant is not None:
+                counts = self._tenant_counts.get(request.tenant)
+                if counts is not None:
+                    counts["delivered"] += 1
             callback = self._callbacks.pop(request.req_id, None)
             if callback is not None:
                 callback(request)
@@ -132,6 +160,71 @@ class DramModel:
             for key, value in channel.stats().items():
                 total[key] += value
         return total
+
+    def stats_for(self, tenant: Optional[int]) -> dict:
+        """Statistics for one tenant (``None`` -> aggregate ``stats``).
+
+        Reads/writes come from submit-time tallies; row hit/miss/empty
+        and byte counts are summed from the per-channel per-tenant issue
+        tallies, so the sum over tenants reconciles with ``stats()``.
+        """
+        if tenant is None:
+            return self.stats()
+        counts = self._tenant_counts.get(tenant, {})
+        total = {"reads": counts.get("reads", 0),
+                 "writes": counts.get("writes", 0),
+                 "row_hits": 0, "row_misses": 0, "row_empties": 0,
+                 "bytes": 0}
+        for channel in self.channels:
+            tally = channel.tenant_stats.get(tenant)
+            if tally is None:
+                continue
+            for key in ("row_hits", "row_misses", "row_empties", "bytes"):
+                total[key] += tally[key]
+        return total
+
+    def progress_counts(self, tenant: Optional[int]
+                        ) -> tuple:
+        """(reads, writes, pending) for watchdog progress keys.
+
+        ``None`` is the solo view; a tenant id narrows every component
+        to that tenant's requests so one tenant's traffic cannot mask
+        another's livelock.
+        """
+        if tenant is None:
+            return (self.reads, self.writes, self.pending)
+        counts = self._tenant_counts.get(tenant)
+        if counts is None:
+            return (0, 0, 0)
+        return (counts["reads"], counts["writes"],
+                counts["submitted"] - counts["delivered"])
+
+    def channel_util(self, tenant: Optional[int],
+                     cycles: int) -> Dict[str, Dict[str, float]]:
+        """Per-channel bandwidth-utilization counters.
+
+        For each channel: bursts issued, bytes moved, and ``util`` — the
+        fraction of elapsed ``cycles`` the data bus spent transferring
+        those bursts (each burst occupies ``t_burst`` bus cycles, and the
+        bus serialises bursts, so ``bursts * t_burst / cycles`` is exact
+        bus occupancy).  With ``tenant`` given, only that tenant's bursts
+        are counted — the per-tenant utilizations sum to the aggregate.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for k, channel in enumerate(self.channels):
+            if tenant is None:
+                bursts = channel.bursts
+                nbytes = channel.bytes_moved
+            else:
+                tally = channel.tenant_stats.get(tenant)
+                bursts = tally["bursts"] if tally else 0
+                nbytes = tally["bytes"] if tally else 0
+            util = 0.0
+            if cycles > 0:
+                util = min(1.0, bursts * self.timing.t_burst / cycles)
+            out[f"ch{k}"] = {"bursts": bursts, "bytes": nbytes,
+                             "util": util}
+        return out
 
     def achieved_gbps(self) -> float:
         """Average achieved bandwidth so far (GB/s at 1 GHz)."""

@@ -23,6 +23,10 @@ class DramRequest:
     req_id: int = field(default_factory=lambda: next(_ids))
     arrival_cycle: int = 0
     complete_cycle: Optional[int] = None
+    #: tenant that issued the burst (stamped by the DramModel at submit
+    #: time; None outside multi-tenant runs).  Drives per-tenant
+    #: bandwidth accounting and interference attribution.
+    tenant: Optional[int] = None
 
     @property
     def done(self) -> bool:

@@ -479,6 +479,9 @@ def cmd_bench(args) -> int:
     from repro.bitstream.cache import CompileCache
     from repro.eval.driver import CacheTally
 
+    if getattr(args, "multi", False):
+        from repro.eval.multi import cmd_bench_multi
+        return cmd_bench_multi(args)
     if getattr(args, "batch", False):
         return cmd_bench_batch(args)
     scale = "tiny" if args.quick else args.scale

@@ -48,15 +48,40 @@ MAX_RETRIES = 50
 # ---------------------------------------------------------------------------
 
 
+#: light registry apps rotated through the mixed-tenant slots
+MULTI_APPS = ("gemm", "tpchq6", "innerproduct", "outerproduct")
+
+
 def make_requests(total: int, unique: int, seed: int = 0,
-                  trace_every: int = 0) -> List[dict]:
+                  trace_every: int = 0,
+                  multi_every: int = 0) -> List[dict]:
     """A deterministic request mix: ``unique`` distinct specs, padded
-    to ``total`` with duplicates, deterministically shuffled."""
+    to ``total`` with duplicates, deterministically shuffled.
+
+    ``multi_every`` mixes in multi-tenant work: every N-th slot becomes
+    a direct ``POST /multi`` pair, and the slot halfway between becomes
+    an app-simulate job opted into service-side co-scheduling — so a
+    concurrent replay exercises both the explicit and the batched
+    co-residency paths.  Bodies carry a ``_path`` hint the replay
+    worker pops before sending.
+    """
     unique = max(1, min(unique, total))
     specs = [gen_spec(seed * 100_000 + k) for k in range(unique)]
     rng = np.random.default_rng(seed)
     bodies = []
     for k in range(total):
+        if multi_every and k % multi_every == 0:
+            pair = [MULTI_APPS[(k // multi_every) % len(MULTI_APPS)],
+                    MULTI_APPS[(k // multi_every + 1) % len(MULTI_APPS)]]
+            bodies.append({"_path": "/multi", "apps": pair,
+                           "scale": "tiny"})
+            continue
+        if multi_every and k % multi_every == max(1, multi_every // 2):
+            app = MULTI_APPS[(k // multi_every) % len(MULTI_APPS)]
+            bodies.append({"_path": "/simulate", "app": app,
+                           "scale": "tiny",
+                           "params": {"coschedule": True}})
+            continue
         spec = specs[k] if k < unique else \
             specs[int(rng.integers(unique))]
         body: Dict = {"spec": spec}
@@ -79,13 +104,14 @@ async def _worker(client: ServeClient, queue: "asyncio.Queue",
         if item is None:
             queue.task_done()
             break
-        body = item
+        body = dict(item)
+        path = body.pop("_path", "/simulate")
         started = time.perf_counter()
         status, result, retries = None, None, 0
         try:
             while True:
                 status, headers, result = await client.request(
-                    "POST", "/simulate", body)
+                    "POST", path, body)
                 if status != 429 or retries >= MAX_RETRIES:
                     break
                 retries += 1
@@ -100,6 +126,7 @@ async def _worker(client: ServeClient, queue: "asyncio.Queue",
             "ms": (time.perf_counter() - started) * 1e3,
             "status": status,
             "retries": retries,
+            "path": path,
             "served": (result.get("served", "fresh")
                        if isinstance(result, dict) else "error"),
         })
@@ -136,11 +163,12 @@ def _percentile(samples: List[float], p: float) -> float:
 
 def run_loadtest(host: str, port: int, requests: int = 200,
                  concurrency: int = 16, unique: int = 0, seed: int = 0,
-                 trace_every: int = 0) -> dict:
+                 trace_every: int = 0, multi_every: int = 0) -> dict:
     """Replay a request mix and assemble the report dict."""
     unique = unique or max(1, requests // 5)
     bodies = make_requests(requests, unique, seed,
-                           trace_every=trace_every)
+                           trace_every=trace_every,
+                           multi_every=multi_every)
     _, before = sync_request(host, port, "GET", "/statsz")
     started = time.perf_counter()
     records = asyncio.run(_replay(host, port, bodies, concurrency))
@@ -156,11 +184,16 @@ def run_loadtest(host: str, port: int, requests: int = 200,
             a = a.get(name, 0) if isinstance(a, dict) else 0
         return (a or 0) - (b or 0)
 
+    multi_ok = [r for r in oks if r["path"] == "/multi"]
+    cosched_ok = [r for r in oks if r["served"] == "coscheduled"]
     return {
         "requests": requests,
         "unique_specs": unique,
         "concurrency": concurrency,
         "seed": seed,
+        "multi_every": multi_every,
+        "multi_ok": len(multi_ok),
+        "coscheduled_ok": len(cosched_ok),
         "ok": len(oks),
         "errors": len(records) - len(oks),
         "backpressure_retries": sum(r["retries"] for r in records),
@@ -181,6 +214,9 @@ def run_loadtest(host: str, port: int, requests: int = 200,
             "cache_misses": delta("compile_cache", "misses"),
             "rejected": delta("requests", "rejected"),
             "timeouts": delta("requests", "timeouts"),
+            "multis": delta("work", "multis"),
+            "coschedule_batches": delta("work", "coschedule_batches"),
+            "coschedule_jobs": delta("work", "coschedule_jobs"),
         },
     }
 
@@ -209,6 +245,13 @@ def render(report: dict) -> str:
          f"rejected {server['rejected']}, "
          f"timeouts {server['timeouts']}"],
     ]
+    if report.get("multi_every"):
+        rows.append(
+            ["multi-tenant", f"{report['multi_ok']} multi ok",
+             f"{report['coscheduled_ok']} coscheduled ok, "
+             f"{server['coschedule_batches']} batches / "
+             f"{server['coschedule_jobs']} batched jobs, "
+             f"{server['multis']} fabric runs"])
     return format_table(["metric", "value", "detail"], rows,
                         title="repro loadtest")
 
@@ -311,7 +354,8 @@ def cmd_loadtest(args) -> int:
             report = run_loadtest(
                 host, port, requests=args.requests,
                 concurrency=args.concurrency, unique=args.unique,
-                seed=args.seed, trace_every=args.trace_every)
+                seed=args.seed, trace_every=args.trace_every,
+                multi_every=args.multi_every)
     else:
         if not wait_healthy(args.host, args.port, timeout_s=5.0):
             print(f"no healthy server at "
@@ -322,7 +366,8 @@ def cmd_loadtest(args) -> int:
         report = run_loadtest(
             args.host, args.port, requests=args.requests,
             concurrency=args.concurrency, unique=args.unique,
-            seed=args.seed, trace_every=args.trace_every)
+            seed=args.seed, trace_every=args.trace_every,
+            multi_every=args.multi_every)
     print(render(report))
     if args.out:
         with open(args.out, "w") as fh:

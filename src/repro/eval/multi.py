@@ -1,0 +1,193 @@
+"""Multi-tenancy benchmark: ``repro bench --multi``.
+
+Quantifies what co-residency buys and costs, entirely in *simulated
+cycles* (deterministic, so the CI gate is noise-free):
+
+* each app runs solo (classic ``Machine.run``) for its baseline cycle
+  count, and is also run as a lone tenant on a Fabric to assert the
+  solo-equivalence invariant (bit-identical ``SimStats``);
+* the whole set then runs co-resident on one shared fabric;
+* ``aggregate_speedup`` = sum of solo cycles / fabric makespan — the
+  throughput gain of sharing the chip instead of time-multiplexing it;
+* per-tenant slowdowns and per-channel utilization expose the DRAM
+  interference the sharing introduces.
+
+``compare_multi`` gates a fresh report against the committed
+``benchmarks/multi_baseline.json``: exact cycle counts (the model's
+answer must not drift silently), the aggregate-throughput floor, and
+the solo-equivalence invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Sequence
+
+from repro.eval.bench import git_rev
+
+#: report format version
+MULTI_FORMAT = 1
+
+#: default co-resident pair: compute-light, DRAM-hungry streaming apps
+#: whose footprints trivially fit side by side at every scale
+DEFAULT_PAIR = ("gemm", "tpchq6")
+
+
+def run_multi_benchmark(apps: Sequence[str] = DEFAULT_PAIR,
+                        scale: str = "tiny") -> dict:
+    """Solo vs co-resident comparison for one set of apps."""
+    from repro.compiler.artifact import compile_to_bitstream
+    from repro.sim.fabric import Fabric
+    from repro.sim.machine import Machine
+    from repro.tenancy import co_run
+
+    solo_stats = {}
+    equivalence: List[str] = []
+    for i, app in enumerate(apps):
+        if app in solo_stats:
+            continue
+        artifact = compile_to_bitstream(app, scale)
+        machine = Machine(artifact.dhdl, artifact.config)
+        solo_stats[app] = machine.run()
+        lone = Fabric()
+        tenant = lone.add_tenant(artifact.dhdl, artifact.config,
+                                 name=app)
+        lone.run()
+        if not tenant.machine.stats.same_as(solo_stats[app]):
+            equivalence.append(
+                f"{app}: lone-tenant fabric stats diverge from solo "
+                f"Machine.run")
+
+    co = co_run(list(apps), scale=scale, validate=True)
+    sequential_cycles = sum(solo_stats[t.app].cycles
+                            for t in co.tenants)
+    fabric_cycles = co.fabric_cycles
+    rows = []
+    for tenant in co.tenants:
+        solo = solo_stats[tenant.app]
+        rows.append({
+            "app": tenant.app,
+            "name": tenant.name,
+            "region": list(tenant.region) if tenant.region else None,
+            "solo_cycles": solo.cycles,
+            "co_cycles": tenant.stats.cycles,
+            "slowdown": round(tenant.stats.cycles / solo.cycles, 4)
+            if solo.cycles else 0.0,
+            "dram_stall_cycles": tenant.stats.dram_stall_cycles,
+            "solo_dram_stall_cycles": solo.dram_stall_cycles,
+            "dram_bytes": tenant.stats.dram.get("bytes", 0),
+            "channel_util": tenant.channel_util,
+            "validated": tenant.validated,
+        })
+    return {
+        "format": MULTI_FORMAT,
+        "rev": git_rev(),
+        "scale": scale,
+        "apps": list(apps),
+        "tenants": rows,
+        "sequential_cycles": sequential_cycles,
+        "fabric_cycles": fabric_cycles,
+        "aggregate_speedup": round(sequential_cycles / fabric_cycles, 4)
+        if fabric_cycles else 0.0,
+        "channel_util": co.channel_util,
+        "pack_report": co.pack_report,
+        "equivalence_failures": equivalence,
+    }
+
+
+def compare_multi(report: dict, baseline: dict) -> List[str]:
+    """Multi-gate check; returns failure messages (empty = pass)."""
+    failures = list(report.get("equivalence_failures", ()))
+    want_apps = baseline.get("apps")
+    if want_apps is not None and report["apps"] != want_apps:
+        failures.append(
+            f"multi workload changed: {report['apps']} vs baseline "
+            f"{want_apps} (update benchmarks/multi_baseline.json if "
+            f"intended)")
+        return failures
+    for key in ("sequential_cycles", "fabric_cycles"):
+        want = baseline.get(key)
+        if want is not None and report[key] != want:
+            failures.append(
+                f"{key} changed: {want} -> {report[key]} (the model's "
+                f"answer changed; refresh the baseline only if this is "
+                f"an intended change)")
+    floor = float(baseline.get("min_aggregate_speedup", 0.0))
+    if report["aggregate_speedup"] < floor:
+        failures.append(
+            f"aggregate-throughput regression: co-resident speedup "
+            f"{report['aggregate_speedup']:.3f}x vs committed floor "
+            f"{floor:.3f}x (sequential {report['sequential_cycles']} "
+            f"cycles, fabric {report['fabric_cycles']} cycles)")
+    for row in report["tenants"]:
+        if not row["validated"]:
+            failures.append(f"{row['name']}: outputs not validated")
+    return failures
+
+
+def render_multi(report: dict) -> str:
+    """Human-readable multi benchmark summary."""
+    lines = [
+        f"multi-tenant fabric — {'+'.join(report['apps'])} "
+        f"({report['scale']}), rev={report['rev']}",
+        f"  {'tenant':14s} {'region':>10s} {'solo':>8s} {'co':>8s} "
+        f"{'slowdown':>9s} {'dram stalls':>12s}",
+    ]
+    for row in report["tenants"]:
+        if row["region"]:
+            col0, row0, cols, rows_ = row["region"]
+            region = f"{cols}x{rows_}@({col0},{row0})"
+        else:
+            region = "full"
+        lines.append(
+            f"  {row['name']:14s} {region:>10s} {row['solo_cycles']:8d} "
+            f"{row['co_cycles']:8d} {row['slowdown']:8.3f}x "
+            f"{row['solo_dram_stall_cycles']:5d} -> "
+            f"{row['dram_stall_cycles']:d}")
+    lines.append(
+        f"  sequential {report['sequential_cycles']} cycles vs "
+        f"co-resident {report['fabric_cycles']} cycles  ->  aggregate "
+        f"speedup {report['aggregate_speedup']:.3f}x")
+    util = ", ".join(f"{ch}={v['util'] * 100:.1f}%"
+                     for ch, v in sorted(report["channel_util"].items()))
+    lines.append(f"  shared channel utilization: {util}")
+    if report["equivalence_failures"]:
+        lines.append(
+            f"  EQUIVALENCE FAILURES: {report['equivalence_failures']}")
+    else:
+        lines.append("  solo-equivalence: every app bit-identical as a "
+                     "lone tenant")
+    return "\n".join(lines)
+
+
+def cmd_bench_multi(args) -> int:
+    """The ``repro bench --multi`` path (wired from ``cmd_bench``)."""
+    import sys
+
+    apps: Optional[List[str]] = args.apps or None
+    scale = "tiny" if args.quick else args.scale
+    report = run_multi_benchmark(apps=apps or list(DEFAULT_PAIR),
+                                 scale=scale)
+    print(render_multi(report))
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, f"MULTI_{report['rev']}.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {path}")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = compare_multi(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"multi gate passed (floor "
+              f"{baseline.get('min_aggregate_speedup', 0):.3f}x)")
+    elif report["equivalence_failures"]:
+        for failure in report["equivalence_failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0

@@ -18,7 +18,12 @@ Endpoints
                              artifact content-addressed
 ``POST /simulate``           compile if needed, then simulate; returns
                              SimStats (+ attribution / trace URL with
-                             ``params.trace``)
+                             ``params.trace``); ``params.coschedule``
+                             opts an app job into service-side batching
+                             onto a shared fabric
+``POST /multi``              co-simulate several registry apps as
+                             tenants of one fabric; returns per-tenant
+                             SimStats plus shared-channel utilization
 ``GET  /artifacts/<hash>``   download a stored bitstream artifact
 ``GET  /traces/<name>``      download a recorded Chrome trace
 """
@@ -85,7 +90,7 @@ async def dispatch(service: ReproService, method: str, path: str,
         if method != "GET":
             return json_response(405, {"error": "GET only"})
         return json_response(200, service.statsz())
-    if path in ("/compile", "/simulate"):
+    if path in ("/compile", "/simulate", "/multi"):
         if method != "POST":
             return json_response(405, {"error": "POST only"})
         try:

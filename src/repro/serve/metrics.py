@@ -90,6 +90,9 @@ class ServiceStats:
     result_hits: int = 0       # served from the completed-result LRU
     compiles: int = 0          # actual compilations (cache miss or off)
     sims: int = 0              # actual simulator runs
+    multis: int = 0            # multi-tenant fabric runs
+    cosched_batches: int = 0   # co-schedule batches flushed to a fabric
+    cosched_jobs: int = 0      # jobs served by co-scheduling
     cache_hits: int = 0
     cache_misses: int = 0
     cache_off: int = 0
@@ -121,6 +124,9 @@ class ServiceStats:
             "work": {
                 "compiles": self.compiles,
                 "sims": self.sims,
+                "multis": self.multis,
+                "coschedule_batches": self.cosched_batches,
+                "coschedule_jobs": self.cosched_jobs,
             },
             "compile_cache": {
                 "hits": self.cache_hits,

@@ -35,7 +35,10 @@ from repro.fuzz.validate import validate_spec
 
 SCHEDULERS = ("event", "dense")
 SCALES = ("tiny", "small")
-MODES = ("compile", "simulate")
+MODES = ("compile", "simulate", "multi")
+
+#: tenants one multi request (or one co-schedule batch) may carry
+MAX_TENANTS = 6
 
 #: server-side ceilings a request may not exceed (the service clamps
 #: its own defaults to these too)
@@ -75,6 +78,11 @@ class JobParams:
     #: the fuzz harness: spec programs are fuzz-sized)
     tile_words: int = 128
     whole_budget: int = 4096
+    #: opt in to service-side co-scheduling: app-simulate requests with
+    #: this flag may be batched onto one shared fabric with other
+    #: queued coschedule jobs (answers then depend on the batch mix, so
+    #: they bypass the result cache)
+    coschedule: bool = False
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -83,6 +91,7 @@ class JobParams:
 _PARAM_FIELDS = {
     "scheduler": str, "max_cycles": int, "watchdog": int, "trace": bool,
     "trace_sample": int, "tile_words": int, "whole_budget": int,
+    "coschedule": bool,
 }
 
 
@@ -137,13 +146,15 @@ def spec_digest(spec: dict) -> str:
 class JobRequest:
     """One parsed, validated submission."""
 
-    mode: str                       # "compile" | "simulate"
-    kind: str                       # "spec" | "app" | "artifact"
+    mode: str                       # "compile" | "simulate" | "multi"
+    kind: str                       # "spec" | "app" | "artifact" | "multi"
     params: JobParams
     spec: Optional[dict] = None
     app: Optional[str] = None
     scale: str = "small"
     artifact_hash: Optional[str] = None
+    #: co-resident registry apps for mode="multi"
+    apps: Optional[Tuple[str, ...]] = None
     #: identity of the work (spec digest / app+scale / artifact hash)
     ident: str = field(default="", compare=False)
 
@@ -160,6 +171,8 @@ class JobRequest:
             return f"spec:{self.ident[:12]}"
         if self.kind == "app":
             return f"app:{self.app}:{self.scale}"
+        if self.kind == "multi":
+            return f"multi:{'+'.join(self.apps or ())}:{self.scale}"
         return f"artifact:{self.ident[:12]}"
 
     def payload(self, cache_dir: Optional[str],
@@ -172,6 +185,7 @@ class JobRequest:
             "app": self.app,
             "scale": self.scale,
             "artifact_hash": self.artifact_hash,
+            "apps": list(self.apps) if self.apps else None,
             "params": self.params.to_dict(),
             "cache_dir": cache_dir,
             "data_dir": data_dir,
@@ -197,6 +211,8 @@ def parse_request(body: Any, mode: str) -> JobRequest:
         raise RequestError(
             400, "request body must be a JSON object",
             [{"path": "", "message": f"got {type(body).__name__}"}])
+    if mode == "multi":
+        return _parse_multi(body)
     unknown = sorted(set(body) - {"spec", "app", "scale",
                                   "artifact_hash", "params"})
     if unknown:
@@ -253,3 +269,46 @@ def parse_request(body: Any, mode: str) -> JobRequest:
               "message": "use POST /simulate for precompiled artifacts"}])
     return JobRequest(mode=mode, kind="artifact", params=params,
                       artifact_hash=digest, ident=digest)
+
+
+def _parse_multi(body: dict) -> JobRequest:
+    """Parse one ``POST /multi`` body: co-resident registry apps.
+
+    Deterministic like every other mode (packing and co-simulation are
+    pure functions of apps+scale+params), so multi jobs coalesce and
+    result-cache exactly like solo ones.
+    """
+    unknown = sorted(set(body) - {"apps", "scale", "params"})
+    if unknown:
+        raise RequestError(
+            400, "unknown request fields",
+            [{"path": name, "message": "unknown field"}
+             for name in unknown])
+    params = _parse_params(body.get("params"))
+    apps = body.get("apps")
+    if not isinstance(apps, list) or not apps:
+        raise RequestError(
+            400, "apps must be a non-empty list of registry names",
+            [{"path": "apps",
+              "message": f"got {type(apps).__name__}"}])
+    if len(apps) > MAX_TENANTS:
+        raise RequestError(
+            400, f"at most {MAX_TENANTS} co-resident apps",
+            [{"path": "apps", "message": f"got {len(apps)}"}])
+    names = _registry_names()
+    errors = [{"path": f"apps[{k}]",
+               "message": f"expected one of {list(names)}, got {a!r}"}
+              for k, a in enumerate(apps)
+              if not isinstance(a, str) or a not in names]
+    if errors:
+        raise RequestError(400, "unknown app", errors)
+    scale = body.get("scale", "tiny")
+    if scale not in SCALES:
+        raise RequestError(
+            400, "unknown scale",
+            [{"path": "scale",
+              "message": f"expected one of {list(SCALES)}, "
+                         f"got {scale!r}"}])
+    return JobRequest(mode="multi", kind="multi", params=params,
+                      apps=tuple(apps), scale=scale,
+                      ident=f"multi:{'+'.join(apps)}:{scale}")

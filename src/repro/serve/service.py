@@ -60,6 +60,12 @@ class ServeConfig:
     data_dir: Optional[str] = None      # None -> default_data_dir()
     timeout_s: float = 300.0
     result_cache: int = 256
+    #: co-scheduling: app-simulate requests opting in via
+    #: ``params.coschedule`` are held up to this long to be batched
+    #: with other opted-in jobs onto one shared fabric
+    coschedule_window_s: float = 0.05
+    #: tenants per co-schedule batch (a full batch flushes early)
+    coschedule_max: int = 4
 
     def resolved_cache_dir(self) -> Optional[str]:
         if self.no_cache:
@@ -94,6 +100,10 @@ class ReproService:
         self._running = 0      # holding a worker slot right now
         self._draining = False
         self._tasks: "set[asyncio.Task]" = set()
+        #: open co-schedule batches: (scale, params) -> (entries, event)
+        #: where entries is a list of (JobRequest, Future) and the event
+        #: flushes a full batch before its window expires
+        self._cosched: dict = {}
         Path(self.data_dir).mkdir(parents=True, exist_ok=True)
 
     # -- directories -------------------------------------------------------------
@@ -151,6 +161,9 @@ class ReproService:
             return err.status, err.body()
         if self._draining:
             return 503, {"error": "service is draining"}
+        if (request.mode == "simulate" and request.kind == "app"
+                and request.params.coschedule):
+            return await self._submit_coscheduled(request)
         key = request.key
         cached = self.table.lookup_result(key)
         if cached is not None:
@@ -175,6 +188,96 @@ class ReproService:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
         return await job.wait()
+
+    # -- co-scheduling -----------------------------------------------------------
+    async def _submit_coscheduled(self, request: JobRequest
+                                  ) -> JobOutcome:
+        """Hold an opted-in app-simulate job briefly to share a fabric.
+
+        Jobs arriving within ``coschedule_window_s`` of each other (and
+        agreeing on scale + params) are packed as tenants of one
+        multi-tenant fabric run; each gets back its own per-tenant
+        stats.  Answers depend on the batch composition, so these jobs
+        bypass the result cache and coalescing table entirely.
+        """
+        if self._queued >= self.config.queue_depth:
+            self.stats.rejected += 1
+            return 429, {"error": "job queue is full",
+                         "retry_after_s": self.retry_after()}
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        group = (request.scale, request.params)
+        batch = self._cosched.get(group)
+        if batch is None:
+            batch = ([], asyncio.Event())
+            self._cosched[group] = batch
+            task = loop.create_task(self._flush_coscheduled(group))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        entries, full = batch
+        entries.append((request, future))
+        self._queued += 1
+        if len(entries) >= self.config.coschedule_max:
+            full.set()
+        return await asyncio.shield(future)
+
+    async def _flush_coscheduled(self, group) -> None:
+        entries, full = self._cosched[group]
+        try:
+            await asyncio.wait_for(
+                full.wait(), timeout=self.config.coschedule_window_s)
+        except asyncio.TimeoutError:
+            pass
+        del self._cosched[group]
+        scale, params = group
+        apps = [request.app for request, _ in entries]
+        multi = JobRequest(
+            mode="multi", kind="multi", params=params,
+            apps=tuple(apps), scale=scale,
+            ident=f"cosched:{'+'.join(apps)}:{scale}")
+        try:
+            await self._slots.acquire()
+            self._queued -= len(entries)
+            self._running += 1
+            try:
+                status, result = await self._execute(multi)
+            finally:
+                self._running -= 1
+                self._slots.release()
+        except BaseException as err:  # noqa: BLE001 — waiters must wake
+            status, result = 500, {"error": f"internal error: "
+                                            f"{type(err).__name__}: "
+                                            f"{err}"}
+        self.stats.cosched_batches += 1
+        self.stats.cosched_jobs += len(entries)
+        if status == 200:
+            self.stats.multis += 1
+        for index, (request, future) in enumerate(entries):
+            outcome = self._cosched_outcome(status, result, index,
+                                            request, apps)
+            self._account(outcome)
+            if not future.done():
+                future.set_result(outcome)
+
+    @staticmethod
+    def _cosched_outcome(status: int, result: dict, index: int,
+                         request: JobRequest, apps) -> JobOutcome:
+        """One tenant's slice of a co-scheduled batch result."""
+        if status != 200 or not isinstance(result, dict):
+            return status, result
+        tenant = result["tenants"][index]
+        return 200, {
+            "ok": True, "status": 200, "served": "coscheduled",
+            "app": request.app, "scale": request.scale,
+            "coscheduled": {"batch": len(apps), "apps": list(apps),
+                            "tenant": tenant["name"],
+                            "region": tenant["region"],
+                            "fabric_cycles": result["fabric_cycles"]},
+            "simulate": {"sim_ms": result["simulate"]["sim_ms"],
+                         "cycles": tenant["stats"]["cycles"]},
+            "stats": tenant["stats"],
+            "channel_util": tenant.get("channel_util"),
+        }
 
     def retry_after(self) -> int:
         """A Retry-After estimate (s): queue length x mean latency."""
@@ -240,6 +343,8 @@ class ReproService:
                 self.stats.compiles += 1
         if "simulate" in result:
             self.stats.sims += 1
+        if result.get("mode") == "multi":
+            self.stats.multis += 1
 
     # -- observability -----------------------------------------------------------
     def healthz(self) -> JobOutcome:
@@ -263,6 +368,8 @@ class ReproService:
             "queue_depth": self.config.queue_depth,
             "timeout_s": self.config.timeout_s,
             "result_cache": self.config.result_cache,
+            "coschedule_window_s": self.config.coschedule_window_s,
+            "coschedule_max": self.config.coschedule_max,
             "cache_dir": self.cache_dir,
             "data_dir": self.data_dir,
         }

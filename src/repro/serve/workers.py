@@ -108,10 +108,48 @@ def _store_artifact(artifact: Bitstream, data_dir: str) -> str:
     return digest
 
 
+def execute_multi(payload: dict) -> dict:
+    """Pack and co-simulate several registry apps on one fabric.
+
+    The tenancy packer compiles region-constrained artifacts, which are
+    packing-specific — so multi jobs bypass the compile cache and the
+    artifact store; the deterministic result is still safe to coalesce
+    and result-cache by job key.
+    """
+    from repro.errors import MappingError
+    from repro.tenancy import co_run
+
+    params = payload["params"]
+    started = time.perf_counter()
+    try:
+        res = co_run(payload["apps"], scale=payload["scale"],
+                     watchdog=int(params["watchdog"]),
+                     max_cycles=int(params["max_cycles"]),
+                     validate=True)
+    except MappingError as err:
+        return _error(422, "pack", err)
+    except (DeadlockError, SimulationError) as err:
+        return _error(422, "simulate", err)
+    sim_ms = round((time.perf_counter() - started) * 1e3, 3)
+    out = res.as_dict()
+    return {
+        "ok": True, "status": 200, "mode": "multi",
+        "apps": payload["apps"], "scale": payload["scale"],
+        "simulate": {"sim_ms": sim_ms,
+                     "fabric_cycles": out["fabric_cycles"]},
+        "fabric_cycles": out["fabric_cycles"],
+        "channel_util": out["channel_util"],
+        "pack_report": out["pack_report"],
+        "tenants": out["tenants"],
+    }
+
+
 def execute_job(payload: dict) -> dict:
     """Run one job payload to a result dict (never raises for
     job-shaped failures; programming bugs do propagate and are mapped
     to a 500 by the service)."""
+    if payload["kind"] == "multi":
+        return execute_multi(payload)
     params = payload["params"]
     cache = (CompileCache(payload["cache_dir"])
              if payload["cache_dir"] is not None else None)

@@ -5,6 +5,7 @@ from repro.sim.config import (AgAssignment, FabricConfig, LeafTiming,
 from repro.sim.counters import Batch, ChainEnumerator
 from repro.sim.datapath import LaneContext
 from repro.sim.dram_image import DramImage, assign_bases
+from repro.sim.fabric import Fabric, Tenant
 from repro.sim.fifo import FifoSim
 from repro.sim.leaves import (GatherSim, InnerComputeSim, NodeSim,
                               ScatterSim, StreamStoreSim, TileLoadSim,
@@ -19,6 +20,7 @@ __all__ = [
     "Batch", "ChainEnumerator",
     "LaneContext",
     "DramImage", "assign_bases",
+    "Fabric", "Tenant",
     "FifoSim",
     "GatherSim", "InnerComputeSim", "NodeSim", "ScatterSim",
     "StreamStoreSim", "TileLoadSim", "TileStoreSim",

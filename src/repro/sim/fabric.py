@@ -1,0 +1,224 @@
+"""Multi-tenant fabric: N compiled artifacts co-resident on one chip.
+
+One :class:`Fabric` hosts several tenant :class:`~repro.sim.machine.
+Machine` instances — each configured into a *disjoint* rectangular
+region of the grid by the tenancy packer — and steps them jointly
+against a single shared :class:`~repro.dram.model.DramModel`.  Compute
+never interferes (disjoint PCUs/PMUs/switches by construction); the
+DRAM channels are the shared resource, so every request is stamped with
+its tenant and the model keeps per-tenant bandwidth, stall and
+row-buffer accounting.
+
+Equivalence invariant
+---------------------
+A tenant running *alone* on a Fabric is bit-identical to a solo
+``Machine.run``: the per-cycle loop below is exactly the dense
+reference loop (``repro.sim.scheduler.dense_spans``) specialised to one
+machine — same tick order, same retirement sweep, same watchdog
+cadence — and tenant 0 keeps its artifact's natural DRAM layout, so
+the address stream (and hence FR-FCFS timing) is unchanged.  The test
+suite asserts this for every registry app: identical ``SimStats``,
+DRAM image and stall attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dhdl.ir import DhdlProgram
+from repro.dram.model import DramModel
+from repro.errors import SimulationError
+from repro.sim.config import FabricConfig
+from repro.sim.dram_image import assign_bases
+from repro.sim.machine import Machine
+from repro.sim.stats import SimStats
+from repro.trace.tracer import Tracer
+
+
+def _regions_overlap(a, b) -> bool:
+    """Axis-aligned rectangle intersection on (col0, row0, cols, rows)."""
+    ac, ar, aw, ah = a
+    bc, br, bw, bh = b
+    return (ac < bc + bw and bc < ac + aw
+            and ar < br + bh and br < ar + ah)
+
+
+class Tenant:
+    """One co-resident application: its machine plus fabric-side state."""
+
+    def __init__(self, tid: int, name: str, machine: Machine):
+        self.id = tid
+        self.name = name
+        self.machine = machine
+        self.done = False
+        #: cycle at which the root controller completed (None while busy)
+        self.finish_cycle: Optional[int] = None
+        self._last_key = None
+        self._last_progress = 0
+
+    @property
+    def stats(self) -> SimStats:
+        return self.machine.stats
+
+    def __repr__(self):
+        state = f"done@{self.finish_cycle}" if self.done else "running"
+        return f"Tenant({self.id}:{self.name}, {state})"
+
+
+class Fabric:
+    """A chip shared by several tenant machines.
+
+    Build with :meth:`add_tenant` (in packing order: tenant 0 keeps its
+    natural DRAM layout; later tenants are relocated past it), then
+    :meth:`run` to completion.  Each tenant retires on its own root's
+    completion and keeps its own :class:`SimStats`; the fabric keeps
+    running until every tenant is done.
+    """
+
+    #: tenant DRAM slices start on a full channel-interleave stride so
+    #: relocation never changes how a tenant's bursts stripe across
+    #: channels (channel = burst % channels is offset-invariant)
+    _SLICE_ALIGN_DEFAULT = None  # computed from geometry in __init__
+
+    def __init__(self, dram: Optional[DramModel] = None,
+                 watchdog: int = 50_000,
+                 max_cycles: int = 20_000_000):
+        self.dram = dram or DramModel()
+        self.watchdog = watchdog
+        self.max_cycles = max_cycles
+        self.tenants: List[Tenant] = []
+        self.cycle = 0
+        geometry = self.dram.geometry
+        self._slice_align = geometry.row_bytes * geometry.channels
+        self._addr_cursor = 0
+
+    # -- construction ------------------------------------------------------------
+    def add_tenant(self, dhdl: DhdlProgram, config: FabricConfig,
+                   name: Optional[str] = None,
+                   tracer: Optional[Tracer] = None) -> Tenant:
+        """Admit one compiled artifact as the next tenant.
+
+        Tenants after the first must carry a placement ``region`` (the
+        tenancy packer emits these) and regions must be pairwise
+        disjoint — overlapping units would silently share datapaths.
+        """
+        tid = len(self.tenants)
+        if tid > 0:
+            regions = [t.machine.config.region for t in self.tenants]
+            regions.append(config.region)
+            for i, region in enumerate(regions):
+                if region is None:
+                    raise SimulationError(
+                        "multi-tenant fabrics require region-constrained"
+                        f" artifacts; tenant {i} was compiled for the"
+                        " full grid (recompile with region=)")
+            for t, other in zip(self.tenants, regions[:-1]):
+                if _regions_overlap(other, config.region):
+                    raise SimulationError(
+                        f"tenant regions overlap: {t.name} at {other} vs"
+                        f" new tenant at {config.region}")
+        name = name or f"t{tid}"
+        taken = {t.name for t in self.tenants}
+        if name in taken:
+            k = 1
+            while f"{name}#{k}" in taken:
+                k += 1
+            name = f"{name}#{k}"
+        natural = config.dram_base or assign_bases(dhdl.drams)
+        span = self._layout_span(dhdl, natural)
+        if tid == 0:
+            base = dict(natural)  # offset 0: solo-identical addresses
+        else:
+            align = self._slice_align
+            offset = -(-self._addr_cursor // align) * align
+            base = {k: v + offset for k, v in natural.items()}
+            span += offset
+        self._addr_cursor = max(self._addr_cursor, span)
+        machine = Machine(dhdl, config, dram=self.dram,
+                          watchdog=self.watchdog, tracer=tracer,
+                          max_cycles=self.max_cycles,
+                          tenant=tid, dram_base=base)
+        tenant = Tenant(tid, name, machine)
+        self.tenants.append(tenant)
+        return tenant
+
+    @staticmethod
+    def _layout_span(dhdl: DhdlProgram, base: Dict[str, int]) -> int:
+        """One past the highest byte address the layout touches."""
+        end = 0
+        for ref in dhdl.drams:
+            end = max(end, base[ref.name] + 4 * ref.words())
+        return end
+
+    # -- execution ---------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None
+            ) -> Dict[str, SimStats]:
+        """Step all tenants to completion; per-tenant stats by name.
+
+        The per-cycle order mirrors the dense reference loop exactly:
+        memory system first, then every active tenant's controllers
+        (outers before leaves), then the scratchpad retirement sweep,
+        then per-tenant progress/watchdog checks.  ``self.dram.tenant``
+        is focused on each tenant around its tick pass so every burst it
+        submits is stamped for attribution.
+        """
+        if not self.tenants:
+            raise SimulationError("fabric has no tenants")
+        limit = max_cycles if max_cycles is not None else self.max_cycles
+        dram = self.dram
+        live = [t for t in self.tenants if not t.done]
+        for tenant in live:
+            tenant.machine.root.start({}, ())
+        cycle = self.cycle
+        while live:
+            cycle += 1
+            if cycle > limit:
+                raise SimulationError(
+                    f"exceeded max_cycles={limit} with "
+                    f"{[t.name for t in live]} still running")
+            for tenant in live:
+                machine = tenant.machine
+                machine.cycle = cycle
+                if machine.tracer is not None:
+                    machine.tracer.begin_cycle(cycle)
+            dram.tick()
+            dram.deliver()
+            for tenant in live:
+                dram.tenant = tenant.id
+                tenant.machine.tick_units(cycle)
+            dram.tenant = None
+            if cycle % 256 == 0:
+                for tenant in live:
+                    tenant.machine.mem.retire_old()
+            finished = False
+            for tenant in live:
+                machine = tenant.machine
+                key = machine._progress_key()
+                if key != tenant._last_key:
+                    tenant._last_key = key
+                    tenant._last_progress = cycle
+                    if machine.tracer is not None:
+                        machine.tracer.progress(cycle)
+                elif cycle - tenant._last_progress > machine.watchdog:
+                    machine._raise_deadlock(tenant._last_progress)
+                if machine.tracer is not None:
+                    machine.tracer.end_cycle()
+                if not machine.root.busy:
+                    tenant.done = True
+                    tenant.finish_cycle = cycle
+                    machine._epilogue()
+                    finished = True
+            if finished:
+                live = [t for t in live if not t.done]
+        self.cycle = cycle
+        return {t.name: t.machine.stats for t in self.tenants}
+
+    # -- aggregate views ----------------------------------------------------------
+    def channel_util(self) -> Dict[str, Dict[str, float]]:
+        """Whole-fabric per-channel utilization over the run so far."""
+        return self.dram.channel_util(None, self.cycle)
+
+    def tenant_channel_util(self, tenant: Tenant
+                            ) -> Dict[str, Dict[str, float]]:
+        """One tenant's share of each channel over the whole run."""
+        return self.dram.channel_util(tenant.id, self.cycle)

@@ -41,7 +41,9 @@ class Machine:
                  watchdog: int = 50_000,
                  tracer: Optional[Tracer] = None,
                  scheduler: str = "event",
-                 max_cycles: int = 20_000_000):
+                 max_cycles: int = 20_000_000,
+                 tenant: Optional[int] = None,
+                 dram_base: Optional[Dict[str, int]] = None):
         self.dhdl = dhdl
         self.config = config
         self.params = config.params
@@ -49,7 +51,14 @@ class Machine:
         self.watchdog = watchdog
         self.scheduler = scheduler
         self.max_cycles = max_cycles
-        base = config.dram_base or assign_bases(dhdl.drams)
+        #: tenant id when co-resident on a shared Fabric (None solo).
+        #: Scopes DRAM statistics, progress keys and trace events to
+        #: this machine's own requests.
+        self.tenant = tenant
+        # dram_base overrides the artifact's frozen layout without
+        # mutating it — the multi-tenant Fabric relocates each tenant's
+        # arrays into a disjoint slice of the shared address space.
+        base = dram_base or config.dram_base or assign_bases(dhdl.drams)
         self.image = DramImage(dhdl.drams, base)
         self.dram = dram or DramModel(queue_depth=self.params.dram.
                                       queue_depth)
@@ -171,7 +180,7 @@ class Machine:
         for name, scratch in self.mem.scratchpads.items():
             scratch.trace = tracer
             tracer.register_track(name, "pmu")
-        self.dram.attach_trace(tracer)
+        self.dram.attach_trace(tracer, tenant=self.tenant)
 
     def trace_report(self):
         """Stall-attribution report for a finished traced run."""
@@ -218,11 +227,24 @@ class Machine:
         return _run_batch(source, param_list, scheduler=scheduler,
                           tracer_factory=tracer_factory)
 
+    def tick_units(self, cycle: int) -> None:
+        """Tick every controller for one cycle (outers, then leaves).
+
+        The shared inner body of the dense loop and of the multi-tenant
+        Fabric loop: control decisions first so leaves observe
+        up-to-date enables, then the datapaths.
+        """
+        for outer in self._outers:
+            outer.tick(cycle)
+        for leaf in self._leaves:
+            leaf.tick(cycle)
+
     def _progress_key(self) -> Tuple:
         fifo_flow = sum(f.pushed + f.popped for f in self.fifos.values())
         completed = sum(sum(o._completed) for o in self._outers)
-        return (self.stats.vector_issues, self.dram.reads,
-                self.dram.writes, self.dram.pending, fifo_flow, completed)
+        reads, writes, pending = self.dram.progress_counts(self.tenant)
+        return (self.stats.vector_issues, reads, writes, pending,
+                fifo_flow, completed)
 
     def _raise_deadlock(self, last_progress_cycle: int):
         busy = [leaf.name for leaf in self._leaves if leaf.busy]
@@ -248,13 +270,15 @@ class Machine:
         for reg_name, array_name in self.dhdl.reg_outputs.items():
             value = self.mem.registers[reg_name].read()
             self.image.write_words(array_name, 0, [value])
-        dram_stats = self.dram.stats()
+        dram_stats = self.dram.stats_for(self.tenant)
         self.stats.dram = dram_stats
         peak_bytes_per_cycle = self.params.dram.peak_gbps  # GB/s == B/ns
         if self.cycle:
             self.stats.dram_busy_fraction = min(
                 1.0, dram_stats["bytes"] / (self.cycle
                                             * peak_bytes_per_cycle))
+            self.stats.dram_channels = self.dram.channel_util(
+                self.tenant, self.cycle)
 
     # -- results ------------------------------------------------------------------
     def result(self, name: str) -> np.ndarray:

@@ -128,10 +128,7 @@ def dense_spans(machine, max_cycles: int):
             trace.begin_cycle(machine.cycle)
         machine.dram.tick()
         machine.dram.deliver()
-        for outer in machine._outers:
-            outer.tick(machine.cycle)
-        for leaf in machine._leaves:
-            leaf.tick(machine.cycle)
+        machine.tick_units(machine.cycle)
         if machine.cycle % 256 == 0:
             machine.mem.retire_old()
         key = machine._progress_key()

@@ -36,6 +36,11 @@ class SimStats:
     #: DRAM statistics snapshot (filled by the machine at the end)
     dram: Dict[str, int] = field(default_factory=dict)
     dram_busy_fraction: float = 0.0
+    #: per-channel bandwidth utilization ("ch0" -> bursts/bytes/util,
+    #: where util is the fraction of elapsed cycles the channel's data
+    #: bus spent on this run's bursts); filled by the machine at the end
+    dram_channels: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
 
     def as_dict(self) -> dict:
         """Every counter as a plain nested dict (equivalence checks)."""

@@ -1,0 +1,11 @@
+"""Multi-tenancy: pack compiled artifacts onto disjoint fabric regions
+and co-simulate them on one shared chip."""
+
+from repro.tenancy.packer import (PackedTenant, PackReport, pack_apps,
+                                  plan_regions)
+from repro.tenancy.run import CoRunResult, TenantResult, co_run
+
+__all__ = [
+    "PackedTenant", "PackReport", "pack_apps", "plan_regions",
+    "CoRunResult", "TenantResult", "co_run",
+]

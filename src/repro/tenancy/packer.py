@@ -1,0 +1,209 @@
+"""The tenancy packer: disjoint-region placement of several artifacts.
+
+Packing is two-phase:
+
+1. *Plan* — each app is compiled solo (full grid) to learn its exact
+   unit footprint, then regions are chosen by first-fit-decreasing over
+   footprint area: apps are considered largest first, and each takes
+   the first (smallest-area shape, row-major anchor) rectangle whose
+   PCU/PMU site capacity covers its footprint and which does not
+   overlap any region already claimed.
+2. *Commit* — each app is recompiled constrained to its planned region.
+   Placement can still fail inside a capacity-feasible region (routing
+   detours consume no sites but fragmentation can defeat the nearest-
+   site heuristic), so a failed commit retries the plan with that
+   app's capacity requirement inflated, growing its region.
+
+The result carries a :class:`PackReport` feasibility report: per-tenant
+regions, footprints and capacities plus fabric-level occupancy — or,
+when the fleet cannot fit, which app failed and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.bitstream.artifact import Bitstream, CompileOptions
+from repro.compiler.place_route import Region, region_capacity
+from repro.errors import MappingError
+
+#: commit retries per app before the packing is declared infeasible
+_MAX_RETRIES = 4
+
+
+@dataclass
+class Footprint:
+    """Exact unit demand of one app, measured by a solo compile."""
+
+    app: str
+    pcus: int
+    pmus: int
+
+    @property
+    def area(self) -> int:
+        return self.pcus + self.pmus
+
+
+@dataclass
+class PackedTenant:
+    """One app bound to a region, with its committed artifact."""
+
+    app: str
+    region: Region
+    footprint: Footprint
+    capacity: Tuple[int, int]
+    artifact: Optional[Bitstream] = None
+
+
+@dataclass
+class PackReport:
+    """Feasibility report for one packing attempt."""
+
+    feasible: bool
+    tenants: List[PackedTenant] = field(default_factory=list)
+    #: grid sites claimed by regions / total grid sites
+    sites_used: int = 0
+    sites_total: int = 0
+    #: populated when infeasible: which app failed, and why
+    failed_app: Optional[str] = None
+    reason: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "feasible": self.feasible,
+            "tenants": [
+                {"app": t.app, "region": list(t.region.as_tuple()),
+                 "pcus": t.footprint.pcus, "pmus": t.footprint.pmus,
+                 "capacity": list(t.capacity)}
+                for t in self.tenants],
+            "sites_used": self.sites_used,
+            "sites_total": self.sites_total,
+            "failed_app": self.failed_app,
+            "reason": self.reason,
+        }
+
+
+def measure_footprint(app: str, scale: str,
+                      params: PlasticineParams = DEFAULT,
+                      options: Optional[CompileOptions] = None
+                      ) -> Footprint:
+    """Solo-compile one app and read off its placed unit counts."""
+    from repro.compiler.artifact import compile_to_bitstream
+    artifact = compile_to_bitstream(app, scale, params=params,
+                                    options=options)
+    return Footprint(app, artifact.config.pcus_used,
+                     artifact.config.pmus_used)
+
+
+def _shapes(params: PlasticineParams) -> List[Tuple[int, int]]:
+    """All region shapes, smallest area first (ties: squarer first)."""
+    shapes = [(cols, rows)
+              for cols in range(1, params.grid_cols + 1)
+              for rows in range(1, params.grid_rows + 1)]
+    shapes.sort(key=lambda s: (s[0] * s[1], abs(s[0] - s[1]), s))
+    return shapes
+
+
+def _first_fit(params: PlasticineParams, need_pcus: int, need_pmus: int,
+               taken: Sequence[Region]) -> Optional[PackedTenant]:
+    """Smallest capacity-feasible free rectangle, row-major anchors."""
+    for cols, rows in _shapes(params):
+        for row0 in range(params.grid_rows - rows + 1):
+            for col0 in range(params.grid_cols - cols + 1):
+                region = Region(col0, row0, cols, rows)
+                if any(region.overlaps(t) for t in taken):
+                    continue
+                cap = region_capacity(params, region)
+                if cap[0] >= need_pcus and cap[1] >= need_pmus:
+                    return PackedTenant("?", region,
+                                        Footprint("?", need_pcus,
+                                                  need_pmus), cap)
+    return None
+
+
+def plan_regions(footprints: Sequence[Footprint],
+                 params: PlasticineParams = DEFAULT,
+                 slack: Optional[Dict[str, int]] = None) -> PackReport:
+    """First-fit-decreasing region plan for a list of footprints.
+
+    ``slack`` maps app name -> extra units to demand beyond the
+    measured footprint (the commit phase uses it to grow a region whose
+    exact-capacity placement failed).  Order within the returned report
+    follows the *input* order, so tenant ids are stable regardless of
+    the packing order.
+    """
+    slack = slack or {}
+    order = sorted(footprints, key=lambda f: f.area, reverse=True)
+    taken: List[Region] = []
+    placed: Dict[str, PackedTenant] = {}
+    total = params.grid_cols * params.grid_rows
+    for fp in order:
+        extra = slack.get(fp.app, 0)
+        fit = _first_fit(params, fp.pcus + extra, fp.pmus + extra, taken)
+        if fit is None:
+            return PackReport(
+                feasible=False, tenants=list(placed.values()),
+                sites_used=sum(r.area for r in taken), sites_total=total,
+                failed_app=fp.app,
+                reason=(f"no free rectangle provides {fp.pcus + extra} "
+                        f"PCUs + {fp.pmus + extra} PMUs alongside "
+                        f"{[str(r) for r in taken]}"))
+        fit.app = fp.app
+        fit.footprint = fp
+        taken.append(fit.region)
+        placed[fp.app] = fit
+    tenants = [placed[fp.app] for fp in footprints]
+    return PackReport(feasible=True, tenants=tenants,
+                      sites_used=sum(r.area for r in taken),
+                      sites_total=total)
+
+
+def pack_apps(apps: Sequence[str], scale: str = "tiny",
+              params: PlasticineParams = DEFAULT,
+              options: Optional[CompileOptions] = None) -> PackReport:
+    """Plan and commit a packing: region-compiled artifacts for all apps.
+
+    Duplicate app names are allowed (the same workload co-resident with
+    itself); each occurrence gets its own tenant and region.
+    """
+    from repro.compiler.artifact import compile_to_bitstream
+    names = _unique_names(apps)
+    footprints = []
+    for name, app in zip(names, apps):
+        fp = measure_footprint(app, scale, params, options)
+        footprints.append(Footprint(name, fp.pcus, fp.pmus))
+    slack: Dict[str, int] = {}
+    report = None
+    for _ in range(_MAX_RETRIES):
+        report = plan_regions(footprints, params, slack)
+        if not report.feasible:
+            return report
+        failed = None
+        for tenant, app in zip(report.tenants, apps):
+            try:
+                tenant.artifact = compile_to_bitstream(
+                    app, scale, params=params, options=options,
+                    region=tenant.region)
+            except MappingError as err:
+                failed = (tenant.app, str(err))
+                break
+        if failed is None:
+            return report
+        # grow the offender's demanded capacity and replan
+        slack[failed[0]] = slack.get(failed[0], 0) + 2
+        report.feasible = False
+        report.failed_app, report.reason = failed
+    return report
+
+
+def _unique_names(apps: Sequence[str]) -> List[str]:
+    """Stable unique tenant names for possibly-repeated app names."""
+    seen: Dict[str, int] = {}
+    names = []
+    for app in apps:
+        count = seen.get(app, 0)
+        names.append(app if count == 0 else f"{app}#{count}")
+        seen[app] = count + 1
+    return names

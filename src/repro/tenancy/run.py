@@ -1,0 +1,131 @@
+"""High-level co-residency driver: pack, co-simulate, validate.
+
+:func:`co_run` is the one call the CLI, serve tier and benchmarks use:
+given a list of registry apps it packs them onto disjoint regions,
+runs them as tenants of one shared :class:`~repro.sim.fabric.Fabric`,
+checks every tenant's outputs against the reference executor, and
+returns per-tenant statistics plus fabric-level channel utilization.
+
+A single-app call takes the solo path (full-grid compile, one tenant),
+which is bit-identical to ``Machine.run`` — so callers can use
+``co_run`` uniformly and the N=1 case degrades to exactly the classic
+flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.bitstream.artifact import CompileOptions
+from repro.errors import MappingError
+from repro.sim.fabric import Fabric
+from repro.sim.stats import SimStats
+from repro.tenancy.packer import PackReport, pack_apps
+
+
+@dataclass
+class TenantResult:
+    """Outcome of one tenant's execution on the shared fabric."""
+
+    app: str
+    #: unique tenant name ("gemm", "gemm#1", ...)
+    name: str
+    stats: SimStats
+    #: (col0, row0, cols, rows) or None for the solo full-grid path
+    region: Optional[tuple]
+    finish_cycle: int
+    #: this tenant's share of each DRAM channel over the whole run
+    channel_util: Dict[str, Dict[str, float]]
+    validated: bool = False
+
+
+@dataclass
+class CoRunResult:
+    """Everything one co-resident run produced."""
+
+    tenants: List[TenantResult]
+    #: cycle the last tenant finished (fabric makespan)
+    fabric_cycles: int
+    #: aggregate per-channel utilization over the makespan
+    channel_util: Dict[str, Dict[str, float]]
+    pack_report: Optional[dict] = None
+
+    def by_name(self) -> Dict[str, TenantResult]:
+        return {t.name: t for t in self.tenants}
+
+    def as_dict(self) -> dict:
+        return {
+            "fabric_cycles": self.fabric_cycles,
+            "channel_util": self.channel_util,
+            "pack_report": self.pack_report,
+            "tenants": [
+                {"app": t.app, "name": t.name,
+                 "region": list(t.region) if t.region else None,
+                 "finish_cycle": t.finish_cycle,
+                 "validated": t.validated,
+                 "stats": t.stats.as_dict()}
+                for t in self.tenants],
+        }
+
+
+def co_run(apps: Sequence[str], scale: str = "tiny",
+           params: PlasticineParams = DEFAULT,
+           options: Optional[CompileOptions] = None,
+           watchdog: int = 50_000,
+           max_cycles: int = 20_000_000,
+           validate: bool = True,
+           tracer_factory=None) -> CoRunResult:
+    """Pack ``apps`` onto one fabric, run to completion, validate.
+
+    ``tracer_factory`` (tenant name -> Tracer) attaches one tracer per
+    tenant; each sees only its own units and its own slice of the
+    shared DRAM channels, so stall attribution is per-tenant.
+    """
+    from repro.apps.registry import get_app
+    from repro.compiler.artifact import compile_to_bitstream
+    if not apps:
+        raise ValueError("co_run needs at least one app")
+    fabric = Fabric(watchdog=watchdog, max_cycles=max_cycles)
+    report = None
+    if len(apps) == 1:
+        artifact = compile_to_bitstream(apps[0], scale, params=params,
+                                        options=options)
+        entries = [(apps[0], apps[0], artifact, None)]
+    else:
+        packing = pack_apps(apps, scale, params=params, options=options)
+        report = packing.as_dict()
+        if not packing.feasible:
+            raise MappingError(
+                f"cannot co-locate {list(apps)} on one fabric: "
+                f"{packing.reason}")
+        entries = [(tenant.footprint.app, app, tenant.artifact,
+                    tenant.region.as_tuple())
+                   for tenant, app in zip(packing.tenants, apps)]
+    handles = []
+    for name, app, artifact, _region in entries:
+        tracer = (tracer_factory(name) if tracer_factory is not None
+                  else None)
+        handle = fabric.add_tenant(artifact.dhdl, artifact.config,
+                                   name=name, tracer=tracer)
+        handles.append(handle)
+    fabric.run()
+    tenants = []
+    for (name, app, artifact, region), handle in zip(entries, handles):
+        validated = False
+        if validate:
+            application = get_app(app)
+            expected = application.expected(application.build(scale))
+            results = {out: handle.machine.result(out)
+                       for out in expected}
+            application.check(artifact.dhdl, results, expected)
+            validated = True
+        tenants.append(TenantResult(
+            app=app, name=handle.name, stats=handle.machine.stats,
+            region=region, finish_cycle=handle.finish_cycle,
+            channel_util=fabric.tenant_channel_util(handle),
+            validated=validated))
+    return CoRunResult(
+        tenants=tenants, fabric_cycles=fabric.cycle,
+        channel_util=fabric.channel_util(), pack_report=report)

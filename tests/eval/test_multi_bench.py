@@ -1,0 +1,88 @@
+"""The multi-tenancy benchmark and its CI gate logic.
+
+One real ``run_multi_benchmark`` call (tiny scale) anchors the report
+shape and the solo-equivalence invariant; the gate tests then exercise
+``compare_multi`` against doctored baselines — the cycle counts are
+deterministic, so the gate demands *exact* equality and a committed
+aggregate-throughput floor.
+"""
+
+import copy
+
+import pytest
+
+from repro.eval.multi import (DEFAULT_PAIR, compare_multi,
+                              render_multi, run_multi_benchmark)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_multi_benchmark(DEFAULT_PAIR, scale="tiny")
+
+
+def test_report_shape_and_equivalence(report):
+    assert report["apps"] == list(DEFAULT_PAIR)
+    assert report["equivalence_failures"] == []
+    assert report["fabric_cycles"] > 0
+    assert report["sequential_cycles"] > report["fabric_cycles"]
+    assert report["aggregate_speedup"] > 1.0
+    assert report["pack_report"]["feasible"] is True
+    assert len(report["tenants"]) == 2
+    for row in report["tenants"]:
+        assert row["validated"] is True
+        assert row["co_cycles"] >= row["solo_cycles"]
+        assert row["slowdown"] >= 1.0
+        assert row["region"] is not None
+        assert row["channel_util"]
+    # co-residency slows at least one tenant via DRAM contention
+    assert any(row["co_cycles"] > row["solo_cycles"]
+               for row in report["tenants"])
+
+
+def test_gate_passes_against_its_own_numbers(report):
+    baseline = {
+        "apps": report["apps"],
+        "sequential_cycles": report["sequential_cycles"],
+        "fabric_cycles": report["fabric_cycles"],
+        "min_aggregate_speedup": round(
+            report["aggregate_speedup"] - 0.05, 3),
+    }
+    assert compare_multi(report, baseline) == []
+
+
+def test_gate_catches_cycle_drift(report):
+    baseline = {"apps": report["apps"],
+                "fabric_cycles": report["fabric_cycles"] + 1}
+    failures = compare_multi(report, baseline)
+    assert any("fabric_cycles changed" in f for f in failures)
+
+
+def test_gate_catches_throughput_regression(report):
+    baseline = {"apps": report["apps"],
+                "min_aggregate_speedup":
+                    report["aggregate_speedup"] + 0.5}
+    failures = compare_multi(report, baseline)
+    assert any("aggregate-throughput regression" in f
+               for f in failures)
+
+
+def test_gate_catches_workload_change(report):
+    failures = compare_multi(report, {"apps": ["gemm", "kmeans"]})
+    assert len(failures) == 1
+    assert "workload changed" in failures[0]
+
+
+def test_gate_propagates_equivalence_and_validation_failures(report):
+    doctored = copy.deepcopy(report)
+    doctored["equivalence_failures"] = ["gemm: diverged"]
+    doctored["tenants"][0]["validated"] = False
+    failures = compare_multi(doctored, {"apps": report["apps"]})
+    assert "gemm: diverged" in failures
+    assert any("not validated" in f for f in failures)
+
+
+def test_render_mentions_every_tenant(report):
+    text = render_multi(report)
+    for row in report["tenants"]:
+        assert row["name"] in text
+    assert "aggregate" in text

@@ -64,3 +64,28 @@ def test_compare_flags_errors_latency_and_lost_dedup():
     # a baseline that never deduped imposes no dedup requirement
     no_dedup = _report(server={"coalesced": 0, "result_cache_hits": 0})
     assert compare(no_dedup, no_dedup, threshold=0.5) == []
+
+
+def test_request_mix_multi_slots_are_deterministic():
+    a = make_requests(40, 10, seed=3, multi_every=5)
+    assert a == make_requests(40, 10, seed=3, multi_every=5)
+    multi = [b for b in a if b.get("_path") == "/multi"]
+    cosched = [b for b in a if b.get("params", {}).get("coschedule")]
+    assert len(multi) == 8                  # every 5th of 40 slots
+    assert len(cosched) == 8                # the slot halfway between
+    for body in multi:
+        assert body["scale"] == "tiny"
+        assert len(body["apps"]) == 2
+        assert body["apps"][0] != body["apps"][1]
+    for body in cosched:
+        assert body["_path"] == "/simulate"
+        assert isinstance(body["app"], str)
+    # the rest are plain spec jobs with no path hint
+    rest = [b for b in a
+            if "_path" not in b and "spec" in b]
+    assert len(rest) == 40 - 16
+
+
+def test_request_mix_without_multi_has_no_path_hints():
+    assert all("_path" not in b
+               for b in make_requests(20, 5, seed=1))

@@ -1,0 +1,206 @@
+"""Serve-tier multi-tenancy: ``POST /multi`` and co-scheduling.
+
+Driven in-process through :func:`dispatch` like the rest of the serve
+suite.  ``/multi`` is deterministic (packing and co-simulation are pure
+functions of apps+scale), so it participates in the result cache like
+any other job; co-scheduled ``/simulate`` jobs instead bypass the cache
+— their answer depends on the batch they land in — and are batched
+service-side onto one shared fabric.
+"""
+
+import asyncio
+import json
+
+from repro.serve import (ReproService, ServeConfig, dispatch,
+                         execute_job)
+from repro.serve.protocol import (MAX_TENANTS, RequestError,
+                                  parse_request)
+
+PAIR = ["gemm", "tpchq6"]
+
+
+def _body(obj) -> bytes:
+    return json.dumps(obj).encode("utf-8")
+
+
+def _config(tmp_path, **kw) -> ServeConfig:
+    kw.setdefault("jobs", 2)
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    kw.setdefault("data_dir", str(tmp_path / "data"))
+    return ServeConfig(**kw)
+
+
+# ---------------------------------------------------------------------------
+# Request parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_error(body):
+    try:
+        parse_request(body, "multi")
+    except RequestError as err:
+        return err
+    raise AssertionError("expected RequestError")
+
+
+def test_parse_multi_happy_path():
+    request = parse_request({"apps": PAIR}, "multi")
+    assert request.mode == "multi" and request.kind == "multi"
+    assert request.apps == tuple(PAIR)
+    assert request.scale == "tiny"
+    assert request.ident == "multi:gemm+tpchq6:tiny"
+    assert request.describe() == "multi:gemm+tpchq6:tiny"
+    assert request.payload(None, None)["apps"] == PAIR
+
+
+def test_parse_multi_rejections():
+    assert _parse_error({}).status == 400
+    assert _parse_error({"apps": []}).status == 400
+    assert _parse_error({"apps": "gemm"}).status == 400
+    assert _parse_error({"apps": ["nosuchapp"]}).status == 400
+    assert _parse_error({"apps": PAIR, "app": "gemm"}).status == 400
+    assert _parse_error(
+        {"apps": ["gemm"] * (MAX_TENANTS + 1)}).status == 400
+    assert _parse_error({"apps": PAIR, "scale": "galactic"}) \
+        .status == 400
+
+
+def test_parse_coschedule_param():
+    request = parse_request(
+        {"app": "gemm", "scale": "tiny",
+         "params": {"coschedule": True}}, "simulate")
+    assert request.params.coschedule is True
+    err = _parse_error({"apps": PAIR, "params": {"coschedule": 7}})
+    assert err.status == 400
+
+
+# ---------------------------------------------------------------------------
+# /multi endpoint
+# ---------------------------------------------------------------------------
+
+
+def test_multi_endpoint_end_to_end(tmp_path):
+    async def scenario():
+        service = ReproService(_config(tmp_path), runner=execute_job)
+
+        first = await dispatch(service, "POST", "/multi",
+                               _body({"apps": PAIR, "scale": "tiny"}))
+        assert first.status == 200, first.json
+        result = first.json
+        assert result["apps"] == PAIR
+        assert result["fabric_cycles"] > 0
+        assert len(result["tenants"]) == 2
+        for row in result["tenants"]:
+            assert row["validated"] is True
+            assert row["region"] is not None
+            assert row["stats"]["cycles"] > 0
+        assert result["pack_report"]["feasible"] is True
+        assert result["channel_util"]
+
+        # deterministic -> replayed from the result cache
+        again = await dispatch(service, "POST", "/multi",
+                               _body({"apps": PAIR, "scale": "tiny"}))
+        assert again.status == 200
+        assert again.json["served"] == "result-cache"
+
+        stats = (await dispatch(service, "GET", "/statsz")).json
+        assert stats["work"]["multis"] == 1
+        assert stats["requests"]["result_cache_hits"] == 1
+
+        bad = await dispatch(service, "POST", "/multi",
+                             _body({"apps": ["nosuchapp"]}))
+        assert bad.status == 400
+
+        only_post = await dispatch(service, "GET", "/multi")
+        assert only_post.status == 405
+        await service.drain()
+
+    asyncio.run(scenario())
+
+
+def test_multi_infeasible_packing_is_422(tmp_path):
+    async def scenario():
+        # six kmeans tenants demand more PMUs than the chip has
+        service = ReproService(_config(tmp_path), runner=execute_job)
+        apps = ["kmeans"] * 6
+        response = await dispatch(service, "POST", "/multi",
+                                  _body({"apps": apps,
+                                         "scale": "tiny"}))
+        assert response.status == 422, response.json
+        assert response.json["error"]["stage"] == "pack"
+        await service.drain()
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Co-scheduling
+# ---------------------------------------------------------------------------
+
+
+def test_coscheduled_jobs_batch_onto_one_fabric(tmp_path):
+    async def scenario():
+        service = ReproService(
+            _config(tmp_path, coschedule_window_s=5.0,
+                    coschedule_max=2),
+            runner=execute_job)
+
+        def post(app):
+            return dispatch(service, "POST", "/simulate",
+                            _body({"app": app, "scale": "tiny",
+                                   "params": {"coschedule": True}}))
+
+        responses = await asyncio.gather(post("gemm"), post("tpchq6"))
+        payloads = [r.json for r in responses]
+        for payload, app in zip(payloads, PAIR):
+            assert payload["ok"], payload
+            assert payload["served"] == "coscheduled"
+            assert payload["app"] == app
+            assert payload["coscheduled"]["apps"] == PAIR
+            assert payload["coscheduled"]["region"] is not None
+            assert payload["stats"]["cycles"] > 0
+        # both riders share one fabric run
+        assert payloads[0]["coscheduled"]["fabric_cycles"] \
+            == payloads[1]["coscheduled"]["fabric_cycles"]
+
+        stats = (await dispatch(service, "GET", "/statsz")).json
+        assert stats["work"]["multis"] == 1
+        assert stats["work"]["coschedule_batches"] == 1
+        assert stats["work"]["coschedule_jobs"] == 2
+        await service.drain()
+
+    asyncio.run(scenario())
+
+
+def test_lone_coscheduled_job_flushes_on_window(tmp_path):
+    async def scenario():
+        service = ReproService(
+            _config(tmp_path, coschedule_window_s=0.01,
+                    coschedule_max=4),
+            runner=execute_job)
+        response = await dispatch(
+            service, "POST", "/simulate",
+            _body({"app": "gemm", "scale": "tiny",
+                   "params": {"coschedule": True}}))
+        payload = response.json
+        assert payload["ok"], payload
+        assert payload["served"] == "coscheduled"
+        assert payload["coscheduled"]["apps"] == ["gemm"]
+        assert payload["stats"]["cycles"] > 0
+        await service.drain()
+
+    asyncio.run(scenario())
+
+
+def test_statsz_reports_coschedule_config(tmp_path):
+    async def scenario():
+        service = ReproService(
+            _config(tmp_path, coschedule_window_s=0.25,
+                    coschedule_max=3))
+        stats = (await dispatch(service, "GET", "/statsz")).json
+        config = stats["config"]
+        assert config["coschedule_window_s"] == 0.25
+        assert config["coschedule_max"] == 3
+        await service.drain()
+
+    asyncio.run(scenario())

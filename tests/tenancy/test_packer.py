@@ -1,0 +1,146 @@
+"""Tenancy packer: disjointness properties and feasibility reports.
+
+The core safety property of a packing — for *every* packing the packer
+emits — is that any two tenants claim pairwise-disjoint regions, and
+that each tenant's committed artifact only uses unit sites inside its
+own region, so no two tenants can ever touch the same PCU, PMU or
+scratchpad bank.  The property test sweeps seeded random app subsets;
+the rest pin down the planner's shape (first-fit-decreasing, stable
+tenant order) and the infeasibility report.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.arch.params import DEFAULT
+from repro.compiler.place_route import Region, region_capacity
+from repro.tenancy import PackReport, pack_apps, plan_regions
+from repro.tenancy.packer import Footprint
+
+APP_NAMES = [a.name for a in ALL_APPS]
+
+
+def _pmu_sites(artifact):
+    sites = set()
+    for placement in artifact.config.sram_place.values():
+        sites.update(placement.pmu_sites)
+    return sites
+
+
+# ---------------------------------------------------------------------------
+# The disjointness property
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_packings_are_pairwise_disjoint(seed):
+    rng = random.Random(seed)
+    apps = rng.sample(APP_NAMES, rng.randint(2, 4))
+    packing = pack_apps(apps, "tiny")
+    assert packing.feasible, packing.reason
+    assert [t.app for t in packing.tenants] == apps
+
+    regions = [t.region for t in packing.tenants]
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            assert not a.overlaps(b), f"{a} overlaps {b}"
+
+    # every committed artifact stays inside its region, so unit sites
+    # and scratchpad bank assignments are disjoint across tenants
+    all_pmu_sites = []
+    for tenant in packing.tenants:
+        assert tenant.artifact is not None
+        assert tenant.artifact.config.region \
+            == tenant.region.as_tuple()
+        sites = _pmu_sites(tenant.artifact)
+        for site in sites:
+            assert tenant.region.contains(site), \
+                f"{tenant.app} scratchpad at {site} escapes " \
+                f"{tenant.region}"
+        all_pmu_sites.append(sites)
+    for i, a in enumerate(all_pmu_sites):
+        for b in all_pmu_sites[i + 1:]:
+            assert not (a & b), f"shared scratchpad sites {a & b}"
+
+
+def test_duplicate_apps_get_distinct_tenants():
+    packing = pack_apps(["gemm", "gemm"], "tiny")
+    assert packing.feasible, packing.reason
+    names = [t.app for t in packing.tenants]
+    assert names == ["gemm", "gemm#1"]
+    a, b = (t.region for t in packing.tenants)
+    assert not a.overlaps(b)
+
+
+# ---------------------------------------------------------------------------
+# Planner shape
+# ---------------------------------------------------------------------------
+
+
+def test_plan_keeps_input_order_but_packs_largest_first():
+    small = Footprint("small", 1, 1)
+    large = Footprint("large", 20, 20)
+    report = plan_regions([small, large])
+    assert report.feasible
+    assert [t.app for t in report.tenants] == ["small", "large"]
+    by_app = {t.app: t for t in report.tenants}
+    # FFD: the large app anchors at the origin, the small one fits
+    # into remaining space
+    assert by_app["large"].region.col0 == 0
+    assert by_app["large"].region.row0 == 0
+    assert not by_app["small"].region.overlaps(by_app["large"].region)
+
+
+def test_plan_regions_capacity_covers_footprint():
+    fps = [Footprint("a", 5, 7), Footprint("b", 3, 2)]
+    report = plan_regions(fps)
+    assert report.feasible
+    for tenant, fp in zip(report.tenants, fps):
+        cap = region_capacity(DEFAULT, tenant.region)
+        assert cap == tenant.capacity
+        assert cap[0] >= fp.pcus and cap[1] >= fp.pmus
+    assert report.sites_used \
+        == sum(t.region.area for t in report.tenants)
+    assert report.sites_total \
+        == DEFAULT.grid_cols * DEFAULT.grid_rows
+
+
+def test_infeasible_plan_names_the_offender():
+    whale = Footprint("whale", 60, 60)
+    minnow = Footprint("minnow", 1, 1)
+    report = plan_regions([whale, whale, minnow])
+    assert not report.feasible
+    assert report.failed_app == "whale"
+    assert "no free rectangle" in report.reason
+    d = report.as_dict()
+    assert d["feasible"] is False
+    assert d["failed_app"] == "whale"
+
+
+def test_pack_report_as_dict_is_json_shaped():
+    packing = pack_apps(["gemm", "tpchq6"], "tiny")
+    d = packing.as_dict()
+    assert d["feasible"] is True
+    assert len(d["tenants"]) == 2
+    for row in d["tenants"]:
+        assert isinstance(row["region"], list) and len(row["region"]) == 4
+        assert row["pcus"] >= 1 and row["pmus"] >= 1
+        assert isinstance(row["capacity"], list)
+    assert 0 < d["sites_used"] <= d["sites_total"]
+
+
+def test_pack_report_type_exported():
+    assert isinstance(pack_apps(["gemm"], "tiny"), PackReport)
+
+
+def test_region_helpers():
+    region = Region(2, 1, 4, 3)
+    assert region.area == 12
+    assert region.contains((2, 1)) and region.contains((5, 3))
+    assert not region.contains((6, 1)) and not region.contains((2, 4))
+    assert region.overlaps(Region(5, 3, 2, 2))
+    assert not region.overlaps(Region(6, 1, 2, 2))
+    cap = region_capacity(DEFAULT, region)
+    assert cap[0] + cap[1] == region.area
