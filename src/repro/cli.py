@@ -48,6 +48,11 @@ Commands
     Replay a deterministic mix of concurrent requests against a server
     (or a self-spawned one with ``--spawn``) and report p50/p99
     latency, throughput, and coalesce/cache-hit rates.
+``chaos [--seed N] [--scenarios M]``
+    Run registry apps under seeded random fault plans
+    (``repro.faults``): every scenario must end bit-correct (clean,
+    degraded, or recovered) or with a typed, attributed FaultError —
+    never a hang, never silent corruption.
 """
 
 from __future__ import annotations
@@ -500,7 +505,7 @@ def _cmd_serve(args) -> int:
         jobs=args.jobs, queue_depth=args.queue_depth,
         cache_dir=args.cache_dir, no_cache=args.no_cache,
         data_dir=args.data_dir, timeout_s=args.timeout,
-        result_cache=args.result_cache)
+        result_cache=args.result_cache, chaos=args.chaos)
     return run_server(ReproService(config), host=args.host,
                       port=args.port)
 
@@ -702,6 +707,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="completed {job, params} results to keep "
                             "for exact replay (0 disables; default "
                             "256)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="enable POST /chaos/kill (SIGKILL one "
+                            "pool worker; fault-injection testing)")
     load = sub.add_parser(
         "loadtest", help="replay concurrent requests against a server")
     load.add_argument("--host", default="127.0.0.1")
@@ -732,6 +740,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "request is a POST /multi pair, with a "
                            "coschedule-opted app job between (0 "
                            "disables)")
+    load.add_argument("--kill-every", type=int, default=0,
+                      metavar="N",
+                      help="chaos: SIGKILL a server pool worker after "
+                           "every N-th request (needs a --chaos "
+                           "server, or --spawn which then enables "
+                           "it; 0 disables)")
     load.add_argument("--jobs", type=_positive_int, default=2,
                       metavar="N", help="--spawn: server worker count")
     load.add_argument("--queue-depth", type=_positive_int, default=64,
@@ -752,6 +766,26 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="F",
                       help="allowed fractional latency/throughput "
                            "regression vs the baseline (default 0.5)")
+    chaos = sub.add_parser(
+        "chaos", help="run seeded random fault-injection scenarios")
+    chaos.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="campaign seed (default 0); the same seed "
+                            "replays the same scenarios")
+    chaos.add_argument("--scenarios", type=_positive_int, default=25,
+                       metavar="M",
+                       help="scenarios to run (default 25)")
+    chaos.add_argument("--scale", default="tiny",
+                       help="registry-app scale (default tiny)")
+    chaos.add_argument("--multi-every", type=int, default=10,
+                       metavar="K",
+                       help="every K-th scenario is multi-tenant: a "
+                            "unit failure in one tenant of a packed "
+                            "fabric, recovered by migrating the "
+                            "tenant (0 disables; default 10)")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the JSON report here")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print each scenario as it classifies")
     return parser
 
 
@@ -780,6 +814,9 @@ def main(argv=None) -> int:
     if args.command == "loadtest":
         from repro.eval.loadtest import cmd_loadtest
         return cmd_loadtest(args)
+    if args.command == "chaos":
+        from repro.faults.chaos import cmd_chaos
+        return cmd_chaos(args)
     return 2
 
 

@@ -24,7 +24,7 @@ from repro.patterns.program import Program
 def freeze_program(program: Program, app: str, scale: str,
                    params: PlasticineParams = DEFAULT,
                    options: Optional[CompileOptions] = None,
-                   region=None) -> Bitstream:
+                   region=None, excluded_sites=None) -> Bitstream:
     """Compile an already-built pattern program into an artifact.
 
     ``region`` (a :class:`~repro.compiler.place_route.Region`) produces
@@ -32,6 +32,10 @@ def freeze_program(program: Program, app: str, scale: str,
     *not* part of :class:`CompileOptions`, so region artifacts must not
     go through the compile cache (the tenancy packer compiles them
     directly — they are packing-specific, not reusable).
+
+    ``excluded_sites`` recompiles around failed unit sites (fault
+    recovery); like ``region`` it bypasses the cache — the artifact is
+    specific to the failure, not reusable.
     """
     options = options or CompileOptions()
     compiled = compile_program(
@@ -40,7 +44,7 @@ def freeze_program(program: Program, app: str, scale: str,
         whole_budget=options.whole_budget,
         ags_per_transfer=options.ags_per_transfer,
         pmu_fraction=options.pmu_fraction,
-        region=region)
+        region=region, excluded_sites=excluded_sites)
     if not compiled.config.dram_base:
         compiled.config.dram_base = assign_bases(compiled.dhdl.drams)
     return Bitstream(app, scale, compiled.dhdl, compiled.config, options)
@@ -49,12 +53,13 @@ def freeze_program(program: Program, app: str, scale: str,
 def compile_to_bitstream(app: str, scale: str = "small",
                          params: PlasticineParams = DEFAULT,
                          options: Optional[CompileOptions] = None,
-                         region=None) -> Bitstream:
+                         region=None, excluded_sites=None) -> Bitstream:
     """Build a registry app at ``scale`` and compile it to an artifact."""
     from repro.apps.registry import get_app  # lazy: apps sit above us
     program = get_app(app).build(scale)
     return freeze_program(program, app, scale, params=params,
-                          options=options, region=region)
+                          options=options, region=region,
+                          excluded_sites=excluded_sites)
 
 
 def compile_app_cached(app: str, scale: str = "small",

@@ -56,7 +56,8 @@ def compile_program(program: Program,
                     whole_budget: int = 16384,
                     ags_per_transfer: int = 2,
                     pmu_fraction: float = 0.5,
-                    region: Optional[Region] = None) -> CompiledApp:
+                    region: Optional[Region] = None,
+                    excluded_sites=None) -> CompiledApp:
     """Compile a pattern program onto the given architecture.
 
     ``pmu_fraction`` changes the fabric's PMU:PCU mix (Section 3.7's
@@ -66,12 +67,17 @@ def compile_program(program: Program,
     sub-grid (multi-tenancy); a design whose footprint exceeds the
     region raises :class:`~repro.errors.MappingError` instead of
     spilling onto sites outside it.
+
+    ``excluded_sites`` masks out failed unit sites: placement routes
+    the design *around* broken hardware (graceful degradation after a
+    detected unit fault) instead of reusing it.
     """
     dhdl = Lowerer(program, tile_words=tile_words,
                    whole_budget=whole_budget).lower()
     config = FabricConfig(params=params)
     requirements = DesignRequirements(program.name)
-    fabric = Fabric(params, pmu_fraction=pmu_fraction, region=region)
+    fabric = Fabric(params, pmu_fraction=pmu_fraction, region=region,
+                    excluded_sites=excluded_sites)
 
     inner_leaves = [l for l in dhdl.leaves()
                     if isinstance(l, InnerCompute)]
@@ -127,8 +133,19 @@ def compile_program(program: Program,
             sram.words(), sram.nbuf, params.pmu.banks))
 
     if region is not None:
+        capacity = region_capacity(params, region, pmu_fraction)
+        if fabric.excluded:
+            # failed sites inside the region contribute no capacity
+            from repro.compiler.place_route import site_kinds
+            kinds = site_kinds(params, pmu_fraction)
+            gone = [s for s in fabric.excluded if region.contains(s)]
+            capacity = (
+                capacity[0] - sum(1 for s in gone
+                                  if kinds[s] == "pcu"),
+                capacity[1] - sum(1 for s in gone
+                                  if kinds[s] == "pmu"))
         region_fits(fabric.pcus_used(), fabric.pmus_used(), region,
-                    region_capacity(params, region, pmu_fraction))
+                    capacity)
         config.region = region.as_tuple()
     else:
         pcu_budget = (params.num_units - int(params.num_units

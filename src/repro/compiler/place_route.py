@@ -139,7 +139,8 @@ class Fabric:
     def __init__(self, params: PlasticineParams = DEFAULT,
                  tracks_per_link: int = 4,
                  pmu_fraction: float = 0.5,
-                 region: Optional[Region] = None):
+                 region: Optional[Region] = None,
+                 excluded_sites: Optional[Sequence[Site]] = None):
         """``pmu_fraction`` sets the PMU:PCU mix (0.5 = the paper's 1:1
         checkerboard; 2/3 = the 2:1 ratio studied in Section 3.7).
 
@@ -147,6 +148,10 @@ class Fabric:
         sub-grid (``None`` = the whole fabric).  The checkerboard
         pattern stays anchored to the full grid, so disjoint regions of
         one chip agree on which sites are PCUs and which are PMUs.
+
+        ``excluded_sites`` masks out individual unit sites (failed
+        hardware): placement never uses them, so a design can be
+        recompiled *around* broken units inside the same region.
         """
         self.params = params
         self.tracks = tracks_per_link
@@ -154,18 +159,23 @@ class Fabric:
         self.region = (region.validate(params) if region is not None
                        else Region.full(params))
         self._constrained = region is not None
+        self.excluded: Set[Site] = set(
+            (int(c), int(r)) for c, r in (excluded_sites or ()))
         self.free_pcus: List[Site] = []
         self.free_pmus: List[Site] = []
         quota = 0.0
         for row in range(params.grid_rows):
             for col in range(params.grid_cols):
                 quota += pmu_fraction
+                site = (col, row)
+                usable = (self.region.contains(site)
+                          and site not in self.excluded)
                 if quota >= 1.0:
                     quota -= 1.0
-                    if self.region.contains((col, row)):
-                        self.free_pmus.append((col, row))
-                elif self.region.contains((col, row)):
-                    self.free_pcus.append((col, row))
+                    if usable:
+                        self.free_pmus.append(site)
+                elif usable:
+                    self.free_pcus.append(site)
         self._initial_pcus = len(self.free_pcus)
         self._initial_pmus = len(self.free_pmus)
         self.placed: Dict[str, List[Site]] = {}
@@ -176,15 +186,18 @@ class Fabric:
     def _take_nearest(self, pool: List[Site],
                       near: Optional[Site]) -> Site:
         if not pool:
+            masked = (f" ({len(self.excluded)} sites excluded as "
+                      f"failed)" if self.excluded else "")
             if self._constrained:
                 raise MappingError(
                     f"design footprint exceeds region "
                     f"{self.region}: no free unit of the requested "
                     f"kind left ({self._initial_pcus} PCU / "
-                    f"{self._initial_pmus} PMU sites total); choose a "
-                    f"larger region instead of spilling outside it")
-            raise MappingError("fabric exhausted: no free unit of the "
-                               "requested kind")
+                    f"{self._initial_pmus} PMU sites total{masked}); "
+                    f"choose a larger region instead of spilling "
+                    f"outside it")
+            raise MappingError(f"fabric exhausted: no free unit of the "
+                               f"requested kind{masked}")
         if near is None:
             return pool.pop(0)
         best = min(pool, key=lambda s: abs(s[0] - near[0])

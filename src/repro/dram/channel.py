@@ -47,6 +47,9 @@ class Channel:
         #: attached by the event scheduler: called whenever a request
         #: leaves the queue (queue room may have freed)
         self.on_dequeue = None
+        #: injected-fault latency added to every burst (0 = healthy;
+        #: adding 0 keeps the no-fault path bit-identical)
+        self.extra_latency = 0
 
     # -- interface ------------------------------------------------------------
     def can_accept(self) -> bool:
@@ -88,7 +91,8 @@ class Channel:
                 kind = EventKind.DRAM_ROW_MISS
             trace.emit(kind, self.trace_name,
                        (bank_id, len(self.queue)))
-        done = bank.issue(row, now, choice.is_write)
+        done = bank.issue(row, now, choice.is_write) \
+            + self.extra_latency
         # serialise the data bus: burst occupies t_burst ending at `done`
         burst_start = done - self.timing.t_burst
         if burst_start < self.bus_free_at:

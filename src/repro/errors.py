@@ -50,6 +50,42 @@ class DramProtocolError(SimulationError):
     """A DRAM command violated DDR3 timing or state rules."""
 
 
+class FaultError(SimulationError):
+    """An injected (or detected) hardware fault surfaced during a run.
+
+    Carries enough context to attribute the failure: the cycle at which
+    the fault fired (or was detected), the unit / resource it hit, the
+    fault kind, and — for multi-tenant runs — the tenant and its region.
+    """
+
+    def __init__(self, message: str, *,
+                 cycle=None, unit=None, sites=None, kind=None,
+                 tenant=None, region=None, detail=None):
+        super().__init__(message)
+        #: cycle the fault event fired at (None if unknown)
+        self.cycle = cycle
+        #: name of the affected unit / channel / array
+        self.unit = unit
+        #: grid sites ((col, row) tuples) of the affected unit, if known
+        self.sites = tuple(sites) if sites else ()
+        #: one of repro.faults.plan.KINDS
+        self.kind = kind
+        #: tenant name for multi-tenant runs (None solo)
+        self.tenant = tenant
+        #: (col0, row0, cols, rows) region of the affected tenant
+        self.region = tuple(region) if region else None
+        #: free-form context (stall attribution, checksum mismatches...)
+        self.detail = detail
+
+    def attribution(self) -> dict:
+        """Structured attribution for reports and chaos logs."""
+        return {"cycle": self.cycle, "unit": self.unit,
+                "sites": [list(s) for s in self.sites],
+                "kind": self.kind, "tenant": self.tenant,
+                "region": list(self.region) if self.region else None,
+                "detail": self.detail}
+
+
 class ArchError(ReproError):
     """Invalid architecture parameters (out of Table 3 ranges, ...)."""
 

@@ -30,7 +30,7 @@ import sys
 import tempfile
 import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -98,7 +98,7 @@ def make_requests(total: int, unique: int, seed: int = 0,
 
 
 async def _worker(client: ServeClient, queue: "asyncio.Queue",
-                  records: List[dict]) -> None:
+                  records: List[dict], chaos: dict) -> None:
     while True:
         item = await queue.get()
         if item is None:
@@ -107,18 +107,26 @@ async def _worker(client: ServeClient, queue: "asyncio.Queue",
         body = dict(item)
         path = body.pop("_path", "/simulate")
         started = time.perf_counter()
-        status, result, retries = None, None, 0
+        status, result, retries, shed_retries = None, None, 0, 0
         try:
             while True:
                 status, headers, result = await client.request(
                     "POST", path, body)
-                if status != 429 or retries >= MAX_RETRIES:
+                # 429 = backpressure, 503+retry_after_s = open circuit
+                # breaker: both are protocol, both are retried
+                shed = (status == 503 and isinstance(result, dict)
+                        and "retry_after_s" in result)
+                if (status != 429 and not shed) \
+                        or retries + shed_retries >= MAX_RETRIES:
                     break
-                retries += 1
-                delay = 0.05
-                if isinstance(result, dict):
-                    delay = min(5.0, float(
-                        result.get("retry_after_s", 1)) * 0.1)
+                hint = (float(result.get("retry_after_s", 1))
+                        if isinstance(result, dict) else 1.0)
+                if shed:
+                    shed_retries += 1
+                    delay = min(5.0, hint + 0.05)
+                else:
+                    retries += 1
+                    delay = min(5.0, hint * 0.1)
                 await asyncio.sleep(delay)
         except (OSError, asyncio.IncompleteReadError) as err:
             status, result = -1, {"error": str(err)}
@@ -126,15 +134,25 @@ async def _worker(client: ServeClient, queue: "asyncio.Queue",
             "ms": (time.perf_counter() - started) * 1e3,
             "status": status,
             "retries": retries,
+            "shed_retries": shed_retries,
             "path": path,
             "served": (result.get("served", "fresh")
                        if isinstance(result, dict) else "error"),
         })
         queue.task_done()
+        if chaos.get("every"):
+            chaos["sent"] += 1
+            if chaos["sent"] % chaos["every"] == 0:
+                try:
+                    await client.request("POST", "/chaos/kill", {})
+                    chaos["kills"] += 1
+                except (OSError, asyncio.IncompleteReadError):
+                    pass
 
 
 async def _replay(host: str, port: int, bodies: List[dict],
-                  concurrency: int) -> List[dict]:
+                  concurrency: int, kill_every: int = 0
+                  ) -> Tuple[List[dict], dict]:
     queue: "asyncio.Queue" = asyncio.Queue()
     for body in bodies:
         queue.put_nowait(body)
@@ -142,12 +160,13 @@ async def _replay(host: str, port: int, bodies: List[dict],
     for _ in clients:
         queue.put_nowait(None)
     records: List[dict] = []
-    tasks = [asyncio.ensure_future(_worker(c, queue, records))
+    chaos = {"every": int(kill_every), "sent": 0, "kills": 0}
+    tasks = [asyncio.ensure_future(_worker(c, queue, records, chaos))
              for c in clients]
     await asyncio.gather(*tasks)
     for client in clients:
         await client.close()
-    return records
+    return records, chaos
 
 
 def _percentile(samples: List[float], p: float) -> float:
@@ -163,7 +182,8 @@ def _percentile(samples: List[float], p: float) -> float:
 
 def run_loadtest(host: str, port: int, requests: int = 200,
                  concurrency: int = 16, unique: int = 0, seed: int = 0,
-                 trace_every: int = 0, multi_every: int = 0) -> dict:
+                 trace_every: int = 0, multi_every: int = 0,
+                 kill_every: int = 0) -> dict:
     """Replay a request mix and assemble the report dict."""
     unique = unique or max(1, requests // 5)
     bodies = make_requests(requests, unique, seed,
@@ -171,7 +191,9 @@ def run_loadtest(host: str, port: int, requests: int = 200,
                            multi_every=multi_every)
     _, before = sync_request(host, port, "GET", "/statsz")
     started = time.perf_counter()
-    records = asyncio.run(_replay(host, port, bodies, concurrency))
+    records, chaos = asyncio.run(
+        _replay(host, port, bodies, concurrency,
+                kill_every=kill_every))
     wall_s = time.perf_counter() - started
     _, after = sync_request(host, port, "GET", "/statsz")
     oks = [r for r in records if r["status"] == 200]
@@ -197,6 +219,9 @@ def run_loadtest(host: str, port: int, requests: int = 200,
         "ok": len(oks),
         "errors": len(records) - len(oks),
         "backpressure_retries": sum(r["retries"] for r in records),
+        "kill_every": kill_every,
+        "kills": chaos["kills"],
+        "breaker_retries": sum(r["shed_retries"] for r in records),
         "wall_s": round(wall_s, 3),
         "throughput_rps": round(len(records) / wall_s, 2),
         "p50_ms": round(_percentile(latencies, 50), 3),
@@ -217,6 +242,10 @@ def run_loadtest(host: str, port: int, requests: int = 200,
             "multis": delta("work", "multis"),
             "coschedule_batches": delta("work", "coschedule_batches"),
             "coschedule_jobs": delta("work", "coschedule_jobs"),
+            "worker_crashes": delta("faults", "worker_crashes"),
+            "worker_retries": delta("faults", "retries"),
+            "respawns": delta("faults", "respawns"),
+            "breaker_shed": delta("faults", "breaker_shed"),
         },
     }
 
@@ -252,6 +281,14 @@ def render(report: dict) -> str:
              f"{server['coschedule_batches']} batches / "
              f"{server['coschedule_jobs']} batched jobs, "
              f"{server['multis']} fabric runs"])
+    if report.get("kill_every"):
+        rows.append(
+            ["chaos", f"{report['kills']} workers killed",
+             f"{server['worker_crashes']} crashes seen, "
+             f"{server['worker_retries']} retried, "
+             f"{server['respawns']} respawns, "
+             f"{server['breaker_shed']} breaker-shed "
+             f"({report['breaker_retries']} client retries)"])
     return format_table(["metric", "value", "detail"], rows,
                         title="repro loadtest")
 
@@ -310,7 +347,8 @@ def _free_port() -> int:
 @contextmanager
 def spawned_server(jobs: int, queue_depth: int,
                    cache_dir: Optional[str] = None,
-                   data_dir: Optional[str] = None):
+                   data_dir: Optional[str] = None,
+                   chaos: bool = False):
     """Run ``repro serve`` as a subprocess; yields ``(host, port)``."""
     host, port = "127.0.0.1", _free_port()
     hold = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
@@ -320,6 +358,8 @@ def spawned_server(jobs: int, queue_depth: int,
             "--port", str(port), "--jobs", str(jobs),
             "--queue-depth", str(queue_depth),
             "--cache-dir", cache_dir, "--data-dir", data_dir]
+    if chaos:
+        argv.append("--chaos")
     env = dict(os.environ)
     src_root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
@@ -350,12 +390,15 @@ def cmd_loadtest(args) -> int:
     if args.spawn:
         with spawned_server(args.jobs, args.queue_depth,
                             cache_dir=args.cache_dir,
-                            data_dir=args.data_dir) as (host, port):
+                            data_dir=args.data_dir,
+                            chaos=bool(args.kill_every)) \
+                as (host, port):
             report = run_loadtest(
                 host, port, requests=args.requests,
                 concurrency=args.concurrency, unique=args.unique,
                 seed=args.seed, trace_every=args.trace_every,
-                multi_every=args.multi_every)
+                multi_every=args.multi_every,
+                kill_every=args.kill_every)
     else:
         if not wait_healthy(args.host, args.port, timeout_s=5.0):
             print(f"no healthy server at "
@@ -367,7 +410,8 @@ def cmd_loadtest(args) -> int:
             args.host, args.port, requests=args.requests,
             concurrency=args.concurrency, unique=args.unique,
             seed=args.seed, trace_every=args.trace_every,
-            multi_every=args.multi_every)
+            multi_every=args.multi_every,
+            kill_every=args.kill_every)
     print(render(report))
     if args.out:
         with open(args.out, "w") as fh:

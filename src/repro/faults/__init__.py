@@ -1,0 +1,26 @@
+"""Deterministic fault injection, detection, and graceful degradation.
+
+``repro.faults`` gives the stack a first-class fault model:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a seeded, serializable
+  schedule of fault events (unit failure, link degradation, DRAM
+  channel slowdown, word-granular DRAM corruption);
+* :mod:`repro.faults.inject` — :class:`FaultInjector`: applies a plan's
+  events at their exact cycles inside a running
+  :class:`~repro.sim.machine.Machine` (both schedulers, solo and
+  multi-tenant), with detection via the liveness watchdog
+  (:class:`~repro.errors.FaultError`) and end-to-end DRAM-image
+  checksums;
+* :mod:`repro.faults.chaos` — the randomized chaos harness behind
+  ``repro chaos``: every scenario must terminate with either a
+  bit-correct result (post-recovery) or a typed, attributed
+  ``FaultError`` — never a hang, never silent corruption.
+
+The no-fault path is bit-identical to a machine without a plan: every
+injection hook is gated on ``machine.faults is not None``.
+"""
+
+from repro.errors import FaultError  # noqa: F401  (re-export)
+from repro.faults.inject import FaultInjector  # noqa: F401
+from repro.faults.plan import (KINDS, FaultEvent,  # noqa: F401
+                               FaultPlan, random_plan)

@@ -26,6 +26,9 @@ Endpoints
                              SimStats plus shared-channel utilization
 ``GET  /artifacts/<hash>``   download a stored bitstream artifact
 ``GET  /traces/<name>``      download a recorded Chrome trace
+``POST /chaos/kill``         SIGKILL one pool worker (fault-injection
+                             for loadtests; 404 unless the server was
+                             started with ``--chaos``)
 """
 
 from __future__ import annotations
@@ -48,8 +51,9 @@ MAX_HEADER_BYTES = 64 * 1024
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 408: "Request Timeout",
-                413: "Payload Too Large", 422: "Unprocessable Entity",
-                429: "Too Many Requests", 500: "Internal Server Error",
+                409: "Conflict", 413: "Payload Too Large",
+                422: "Unprocessable Entity", 429: "Too Many Requests",
+                500: "Internal Server Error",
                 503: "Service Unavailable", 504: "Gateway Timeout"}
 
 _HASH_RE = re.compile(r"^[0-9a-f]{64}$")
@@ -101,10 +105,15 @@ async def dispatch(service: ReproService, method: str, path: str,
                                f"{err}"})
         status, payload = await service.submit(path[1:], parsed)
         headers = {}
-        if status == 429:
-            headers["Retry-After"] = str(
-                payload.get("retry_after_s", 1))
+        if status in (429, 503) and isinstance(payload, dict) \
+                and "retry_after_s" in payload:
+            headers["Retry-After"] = str(payload["retry_after_s"])
         return json_response(status, payload, headers)
+    if path == "/chaos/kill":
+        if method != "POST":
+            return json_response(405, {"error": "POST only"})
+        status, payload = service.chaos_kill_worker()
+        return json_response(status, payload)
     if path.startswith("/artifacts/"):
         if method != "GET":
             return json_response(405, {"error": "GET only"})

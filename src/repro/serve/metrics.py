@@ -11,6 +11,7 @@ percentiles client-side from raw samples for the committed baseline.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -75,6 +76,67 @@ class LatencyHistogram:
         }
 
 
+class CircuitBreaker:
+    """Per-endpoint circuit breaker over infrastructure failures.
+
+    Counts *consecutive* server-side failures (5xx from actual job
+    execution — 4xx client errors never trip it).  After ``threshold``
+    of them the breaker opens and the endpoint sheds load with 503s
+    until ``cooldown_s`` has passed; then exactly one probe request is
+    let through (half-open).  A successful probe closes the breaker, a
+    failed one reopens it for another cooldown.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 2.0,
+                 clock=time.monotonic):
+        self.threshold = max(1, int(threshold))
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self.state = "closed"       # "closed" | "open" | "half-open"
+        self.failures = 0           # consecutive failures
+        self.opened_total = 0       # closed/half-open -> open edges
+        self.shed = 0               # requests rejected while open
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  (half-open admits one)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self.state = "half-open"
+                return True
+            self.shed += 1
+            return False
+        # half-open: the single probe is already in flight
+        self.shed += 1
+        return False
+
+    def record(self, ok: bool) -> None:
+        """Report the outcome of a request that was allowed through."""
+        if ok:
+            self.failures = 0
+            self.state = "closed"
+            return
+        self.failures += 1
+        if self.state == "half-open" or self.failures >= self.threshold:
+            if self.state != "open":
+                self.opened_total += 1
+            self.state = "open"
+            self._opened_at = self._clock()
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe is admitted."""
+        remaining = self.cooldown_s - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
+    def snapshot(self) -> dict:
+        return {"state": self.state,
+                "consecutive_failures": self.failures,
+                "opened_total": self.opened_total,
+                "shed": self.shed}
+
+
 @dataclass
 class ServiceStats:
     """Everything ``/statsz`` reports (gauges are supplied by the
@@ -97,6 +159,10 @@ class ServiceStats:
     cache_misses: int = 0
     cache_off: int = 0
     cache_corrupt: int = 0
+    worker_crashes: int = 0    # worker process died under a job
+    retries: int = 0           # jobs re-dispatched after a crash
+    respawns: int = 0          # pool rebuilds after a crash
+    breaker_shed: int = 0      # requests shed with 503 by a breaker
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def record_cache(self, outcome: str, corrupt: int = 0) -> None:
@@ -133,6 +199,12 @@ class ServiceStats:
                 "misses": self.cache_misses,
                 "off": self.cache_off,
                 "corrupt": self.cache_corrupt,
+            },
+            "faults": {
+                "worker_crashes": self.worker_crashes,
+                "retries": self.retries,
+                "respawns": self.respawns,
+                "breaker_shed": self.breaker_shed,
             },
             "latency": self.latency.to_dict(),
         }

@@ -24,6 +24,15 @@
    runaway or deadlocked simulation trips the sim-side watchdog and the
    worker slot always comes back.
 
+The tier is crash-tolerant: a worker process that dies mid-job (OOM
+kill, segfault, chaos injection) surfaces as ``BrokenExecutor`` on the
+pending future *immediately* — never by waiting out the wall timeout.
+The service respawns the pool and retries the job up to ``max_retries``
+times with exponential backoff + jitter; a job that keeps killing
+workers comes back as a typed 503.  Each endpoint sits behind a
+:class:`~repro.serve.metrics.CircuitBreaker` that sheds load with 503 +
+``Retry-After`` after a run of infrastructure failures.
+
 Shutdown is graceful: :meth:`drain` stops admissions (503), waits for
 every in-flight job, then tears down the pool.
 """
@@ -31,15 +40,18 @@ every in-flight job, then tears down the pool.
 from __future__ import annotations
 
 import asyncio
+import os
+import random
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
 
 from repro.bitstream.cache import default_cache_root
 from repro.serve.jobs import Job, JobOutcome, JobTable
-from repro.serve.metrics import ServiceStats
+from repro.serve.metrics import CircuitBreaker, ServiceStats
 from repro.serve.protocol import JobRequest, RequestError, parse_request
 from repro.serve.workers import execute_job
 
@@ -47,6 +59,20 @@ from repro.serve.workers import execute_job
 def default_data_dir() -> Path:
     """Artifact/trace store: ``<cache root>/serve`` by default."""
     return default_cache_root() / "serve"
+
+
+def _worker_init() -> None:
+    """Detach a pool worker from the parent's signal machinery.
+
+    Fork-started workers inherit asyncio's signal wakeup fd; without
+    this, a SIGTERM aimed at a worker (e.g. the pool tearing down
+    siblings of a crashed process) echoes through the shared pipe and
+    the *parent's* event loop dispatches its own shutdown handler —
+    one killed worker would gracefully stop the whole server.
+    """
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 @dataclass
@@ -66,6 +92,17 @@ class ServeConfig:
     coschedule_window_s: float = 0.05
     #: tenants per co-schedule batch (a full batch flushes early)
     coschedule_max: int = 4
+    #: worker-crash recovery: re-dispatches per job after a
+    #: ``BrokenExecutor``, and the base backoff before the first retry
+    #: (doubled per retry, with jitter)
+    max_retries: int = 2
+    retry_base_s: float = 0.05
+    #: circuit breaker: consecutive infra failures (5xx) per endpoint
+    #: before it opens, and how long it sheds before a half-open probe
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 2.0
+    #: enable the POST /chaos/kill fault-injection endpoint
+    chaos: bool = False
 
     def resolved_cache_dir(self) -> Optional[str]:
         if self.no_cache:
@@ -104,6 +141,10 @@ class ReproService:
         #: where entries is a list of (JobRequest, Future) and the event
         #: flushes a full batch before its window expires
         self._cosched: dict = {}
+        self._breakers: "dict[str, CircuitBreaker]" = {
+            mode: CircuitBreaker(self.config.breaker_threshold,
+                                 self.config.breaker_cooldown_s)
+            for mode in ("compile", "simulate", "multi")}
         Path(self.data_dir).mkdir(parents=True, exist_ok=True)
 
     # -- directories -------------------------------------------------------------
@@ -120,7 +161,8 @@ class ReproService:
         """Spin up the worker pool (no-op with an injected runner)."""
         if self._runner is None and self._executor is None:
             self._executor = ProcessPoolExecutor(
-                max_workers=self.config.jobs)
+                max_workers=self.config.jobs,
+                initializer=_worker_init)
 
     async def drain(self) -> None:
         """Stop admitting, wait for in-flight jobs, shut the pool."""
@@ -161,6 +203,15 @@ class ReproService:
             return err.status, err.body()
         if self._draining:
             return 503, {"error": "service is draining"}
+        breaker = self._breakers.get(request.mode)
+        if breaker is not None and not breaker.allow():
+            self.stats.breaker_shed += 1
+            return 503, {
+                "error": f"circuit breaker open for /{request.mode} "
+                         f"after repeated server-side failures",
+                "retry_after_s": round(max(0.05,
+                                           breaker.retry_after()), 3),
+                "breaker": breaker.snapshot()}
         if (request.mode == "simulate" and request.kind == "app"
                 and request.params.coschedule):
             return await self._submit_coscheduled(request)
@@ -250,6 +301,9 @@ class ReproService:
                                             f"{err}"}
         self.stats.cosched_batches += 1
         self.stats.cosched_jobs += len(entries)
+        # one fabric execution, one breaker observation (the clients
+        # all came through /simulate)
+        self._breakers["simulate"].record(status < 500)
         if status == 200:
             self.stats.multis += 1
         for index, (request, future) in enumerate(entries):
@@ -301,38 +355,91 @@ class ReproService:
         except BaseException as err:  # noqa: BLE001 — waiters must wake
             outcome = (500, {"error": f"internal error: "
                                       f"{type(err).__name__}: {err}"})
-        self._account(outcome)
+        self._account(outcome, mode=request.mode)
         self.table.remember(job.key, outcome)  # 200s only, both modes
         self.table.retire(job)
         job.finish(outcome)
 
     async def _execute(self, request: JobRequest) -> JobOutcome:
+        """Dispatch one job, riding out worker crashes.
+
+        The whole job (all retry attempts together) gets ``timeout_s``
+        of wall clock.  A dead worker raises ``BrokenExecutor`` on the
+        pending future the moment the pool notices — failing fast
+        instead of burning the rest of the timeout — after which the
+        pool is respawned and the job re-dispatched with exponential
+        backoff + jitter, ``max_retries`` times at most.
+        """
         loop = asyncio.get_running_loop()
         payload = request.payload(self.cache_dir, self.data_dir)
-        if self._runner is not None:
-            fut = loop.run_in_executor(None, self._runner, payload)
-        else:
-            self.start()
-            fut = loop.run_in_executor(self._executor, execute_job,
-                                       payload)
-        try:
-            raw = await asyncio.wait_for(
-                fut, timeout=self.config.timeout_s)
-        except asyncio.TimeoutError:
-            self.stats.timeouts += 1
-            return 504, {"error": f"job exceeded the "
-                                  f"{self.config.timeout_s:g} s wall "
-                                  f"timeout",
-                         "job": request.describe()}
-        status = int(raw.get("status", 200 if raw.get("ok") else 500))
-        return status, raw
+        deadline = loop.time() + self.config.timeout_s
+        attempts = 0
+        backoff = self.config.retry_base_s
+        while True:
+            try:
+                # run_in_executor itself raises BrokenExecutor when
+                # the pool is already known-broken, so the dispatch
+                # lives inside the retry net too
+                if self._runner is not None:
+                    fut = loop.run_in_executor(None, self._runner,
+                                               payload)
+                else:
+                    self.start()
+                    fut = loop.run_in_executor(self._executor,
+                                               execute_job, payload)
+                raw = await asyncio.wait_for(
+                    fut, timeout=max(0.001, deadline - loop.time()))
+            except asyncio.TimeoutError:
+                self.stats.timeouts += 1
+                return 504, {"error": f"job exceeded the "
+                                      f"{self.config.timeout_s:g} s "
+                                      f"wall timeout",
+                             "job": request.describe()}
+            except BrokenExecutor:
+                self.stats.worker_crashes += 1
+                self._respawn_pool()
+                if attempts >= self.config.max_retries:
+                    return 503, {
+                        "ok": False, "status": 503,
+                        "error": {
+                            "stage": "worker",
+                            "type": "WorkerCrashed",
+                            "message": (
+                                f"worker process died "
+                                f"{attempts + 1} time(s) running "
+                                f"this job; giving up after "
+                                f"{self.config.max_retries} "
+                                f"retries")},
+                        "job": request.describe()}
+                attempts += 1
+                self.stats.retries += 1
+                await asyncio.sleep(
+                    min(backoff * (0.5 + random.random()),
+                        max(0.0, deadline - loop.time())))
+                backoff *= 2
+                continue
+            status = int(raw.get("status",
+                                 200 if raw.get("ok") else 500))
+            return status, raw
 
-    def _account(self, outcome: JobOutcome) -> None:
+    def _respawn_pool(self) -> None:
+        """Throw away a broken process pool; ``start()`` rebuilds it."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            self.stats.respawns += 1
+
+    def _account(self, outcome: JobOutcome,
+                 mode: Optional[str] = None) -> None:
         status, result = outcome
         if status == 200:
             self.stats.completed += 1
         else:
             self.stats.failed += 1
+        # breaker sees executed jobs only (never cache hits or
+        # coalesced waiters): 5xx = infrastructure failure
+        if mode is not None and mode in self._breakers:
+            self._breakers[mode].record(status < 500)
         if not isinstance(result, dict):
             return
         compile_meta = result.get("compile")
@@ -345,6 +452,32 @@ class ReproService:
             self.stats.sims += 1
         if result.get("mode") == "multi":
             self.stats.multis += 1
+
+    # -- chaos injection ---------------------------------------------------------
+    def chaos_kill_worker(self) -> JobOutcome:
+        """SIGKILL one pool worker (``POST /chaos/kill``, gated).
+
+        Only available when the service was started with
+        ``ServeConfig.chaos`` — loadtests use it to exercise the
+        crash-recovery path against a live server.
+        """
+        if not self.config.chaos:
+            return 404, {"error": "chaos endpoints are disabled "
+                                  "(start the server with --chaos)"}
+        if self._runner is not None:
+            return 409, {"error": "service runs an injected runner, "
+                                  "not a process pool"}
+        self.start()
+        procs = list(getattr(self._executor, "_processes",
+                             {}).values())
+        live = [p for p in procs if p.is_alive()]
+        if not live:
+            return 200, {"killed": None,
+                         "note": "no live worker to kill (workers "
+                                 "spawn on first dispatch)"}
+        victim = live[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        return 200, {"killed": victim.pid}
 
     # -- observability -----------------------------------------------------------
     def healthz(self) -> JobOutcome:
@@ -363,6 +496,9 @@ class ReproService:
             "inflight_keys": len(self.table),
             "draining": self._draining,
         }
+        snapshot["breakers"] = {
+            mode: breaker.snapshot()
+            for mode, breaker in sorted(self._breakers.items())}
         snapshot["config"] = {
             "jobs": self.config.jobs,
             "queue_depth": self.config.queue_depth,
@@ -370,6 +506,10 @@ class ReproService:
             "result_cache": self.config.result_cache,
             "coschedule_window_s": self.config.coschedule_window_s,
             "coschedule_max": self.config.coschedule_max,
+            "max_retries": self.config.max_retries,
+            "breaker_threshold": self.config.breaker_threshold,
+            "breaker_cooldown_s": self.config.breaker_cooldown_s,
+            "chaos": self.config.chaos,
             "cache_dir": self.cache_dir,
             "data_dir": self.data_dir,
         }

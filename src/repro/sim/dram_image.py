@@ -79,4 +79,33 @@ class DramImage:
             return buf
         return buf.reshape(ref.array.shape)
 
+    # -- integrity ----------------------------------------------------------------
+    def checksums(self) -> Dict[str, int]:
+        """CRC32 of every array's raw bytes (end-to-end fault detection).
+
+        Two images of the same program agree on every checksum iff they
+        are bit-identical, so comparing a run's checksums against a
+        known-good golden run detects silent data corruption.
+        """
+        import zlib
+        return {name: zlib.crc32(buf.tobytes())
+                for name, buf in sorted(self.buffers.items())}
+
+    def corrupt_word(self, name: str, word: int, xor_mask: int) -> None:
+        """Bit-flip one word in place (fault injection).
+
+        Operates on the raw 32-bit storage so float arrays corrupt the
+        way a real DRAM bit flip would (no value-space rounding).
+        """
+        buf = self.buffers[name]
+        if buf.size == 0:
+            return
+        word = word % buf.size
+        if buf.dtype.itemsize == 4:
+            view = buf.view(np.uint32)
+            view[word] ^= np.uint32(xor_mask & 0xFFFFFFFF)
+        else:
+            view = buf.view(np.uint8)
+            view[word * buf.dtype.itemsize] ^= np.uint8(xor_mask & 0xFF)
+
 

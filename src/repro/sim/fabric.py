@@ -95,7 +95,10 @@ class Fabric:
     # -- construction ------------------------------------------------------------
     def add_tenant(self, dhdl: DhdlProgram, config: FabricConfig,
                    name: Optional[str] = None,
-                   tracer: Optional[Tracer] = None) -> Tenant:
+                   tracer: Optional[Tracer] = None,
+                   fault_plan=None,
+                   fault_sites: Optional[Dict[str, list]] = None
+                   ) -> Tenant:
         """Admit one compiled artifact as the next tenant.
 
         Tenants after the first must carry a placement ``region`` (the
@@ -137,7 +140,10 @@ class Fabric:
         machine = Machine(dhdl, config, dram=self.dram,
                           watchdog=self.watchdog, tracer=tracer,
                           max_cycles=self.max_cycles,
-                          tenant=tid, dram_base=base)
+                          tenant=tid, dram_base=base,
+                          fault_plan=fault_plan,
+                          fault_sites=fault_sites,
+                          tenant_name=name)
         tenant = Tenant(tid, name, machine)
         self.tenants.append(tenant)
         return tenant
@@ -173,12 +179,22 @@ class Fabric:
         while live:
             cycle += 1
             if cycle > limit:
+                for tenant in live:
+                    faults = tenant.machine.faults
+                    if faults is not None and faults.fired:
+                        raise faults.fault_error(
+                            f"exceeded max_cycles={limit} with "
+                            f"{[t.name for t in live]} still running",
+                            cycle=cycle)
                 raise SimulationError(
                     f"exceeded max_cycles={limit} with "
                     f"{[t.name for t in live]} still running")
             for tenant in live:
                 machine = tenant.machine
                 machine.cycle = cycle
+                faults = machine.faults
+                if faults is not None and faults.next_cycle <= cycle:
+                    faults.apply(cycle)
                 if machine.tracer is not None:
                     machine.tracer.begin_cycle(cycle)
             dram.tick()

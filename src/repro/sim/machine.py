@@ -43,7 +43,10 @@ class Machine:
                  scheduler: str = "event",
                  max_cycles: int = 20_000_000,
                  tenant: Optional[int] = None,
-                 dram_base: Optional[Dict[str, int]] = None):
+                 dram_base: Optional[Dict[str, int]] = None,
+                 fault_plan=None,
+                 fault_sites: Optional[Dict[str, list]] = None,
+                 tenant_name: Optional[str] = None):
         self.dhdl = dhdl
         self.config = config
         self.params = config.params
@@ -55,6 +58,8 @@ class Machine:
         #: Scopes DRAM statistics, progress keys and trace events to
         #: this machine's own requests.
         self.tenant = tenant
+        #: human-readable tenant name for fault/deadlock attribution
+        self.tenant_name = tenant_name
         # dram_base overrides the artifact's frozen layout without
         # mutating it — the multi-tenant Fabric relocates each tenant's
         # arrays into a disjoint slice of the shared address space.
@@ -81,6 +86,12 @@ class Machine:
                                  and tracer.enabled) else None
         if self.tracer is not None:
             self._attach_tracer(self.tracer)
+        #: fault injector (None on the — bit-identical — no-fault path)
+        self.faults = None
+        if fault_plan is not None:
+            from repro.faults.inject import FaultInjector
+            self.faults = FaultInjector(fault_plan, self,
+                                        sites=fault_sites)
 
     # -- construction ------------------------------------------------------------
     def _build(self, ctrl) -> NodeSim:
@@ -246,9 +257,23 @@ class Machine:
         return (self.stats.vector_issues, reads, writes, pending,
                 fifo_flow, completed)
 
+    def _whoami(self) -> str:
+        """Tenant + region prefix for deadlock/fault attribution."""
+        if self.tenant is None and self.tenant_name is None:
+            return ""
+        who = f"tenant {self.tenant}"
+        if self.tenant_name:
+            who += f" ({self.tenant_name})"
+        region = self.config.region
+        if region is not None:
+            col0, row0, cols, rows = region
+            who += f" in region {cols}x{rows}@({col0},{row0})"
+        return who + ": "
+
     def _raise_deadlock(self, last_progress_cycle: int):
         busy = [leaf.name for leaf in self._leaves if leaf.busy]
         detail = ""
+        waits: Dict[str, str] = {}
         if self.tracer is not None:
             from repro.trace.events import EventKind
             marks = self.tracer.current_marks()
@@ -257,10 +282,24 @@ class Machine:
             self.tracer.emit(EventKind.DEADLOCK, "machine",
                              (last_progress_cycle,))
             detail = f"; stall causes: {waits}"
-        raise DeadlockError(
-            f"no progress since cycle {last_progress_cycle} "
-            f"(watchdog {self.watchdog} cycles, now at cycle "
-            f"{self.cycle}); busy leaves: {busy}{detail}")
+        message = (
+            f"{self._whoami()}no progress since cycle "
+            f"{last_progress_cycle} (watchdog {self.watchdog} cycles, "
+            f"now at cycle {self.cycle}); busy leaves: {busy}{detail}")
+        if self.faults is not None and self.faults.fired:
+            raise self.faults.fault_error(
+                message, cycle=self.cycle,
+                detail={"busy_leaves": busy, "stall_causes": waits,
+                        "last_progress_cycle": last_progress_cycle})
+        raise DeadlockError(message)
+
+    def _raise_limit(self, limit: int):
+        """Max-cycles trip, converted to a typed :class:`FaultError`
+        when an injected fault has fired (never an unattributed hang)."""
+        message = f"{self._whoami()}exceeded max_cycles={limit}"
+        if self.faults is not None and self.faults.fired:
+            raise self.faults.fault_error(message, cycle=self.cycle)
+        raise SimulationError(message)
 
     def _epilogue(self) -> None:
         self.stats.cycles = self.cycle

@@ -46,7 +46,6 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import SimulationError
 from repro.trace.events import StallCause
 
 #: recognised scheduler modes (CLI + Machine API)
@@ -117,13 +116,15 @@ def dense_spans(machine, max_cycles: int):
     ``_SPAN_CYCLES`` cycles so a batch driver can interleave instances."""
     machine.root.start({}, ())
     trace = machine.tracer
+    faults = machine.faults
     last_progress_key = None
     last_progress_cycle = 0
     while machine.root.busy:
         machine.cycle += 1
         if machine.cycle > max_cycles:
-            raise SimulationError(
-                f"exceeded max_cycles={max_cycles}")
+            machine._raise_limit(max_cycles)
+        if faults is not None and faults.next_cycle <= machine.cycle:
+            faults.apply(machine.cycle)
         if trace is not None:
             trace.begin_cycle(machine.cycle)
         machine.dram.tick()
@@ -309,6 +310,10 @@ class EventScheduler:
         completion = dram.next_completion()
         if completion is not None and completion < target:
             target = completion
+        # never jump over a scheduled fault event: resume normal
+        # processing at its exact cycle so injection stays deterministic
+        if m.faults is not None and m.faults.next_cycle < target:
+            target = m.faults.next_cycle
         if target > max_cycles + 1:
             target = max_cycles + 1
         skipped = target - 1 - cycle
@@ -352,6 +357,7 @@ class EventScheduler:
         m.root.start({}, ())
         self.node_started(m.root)
         trace = m.tracer
+        faults = m.faults
         stats = m.stats
         outers = self.outers
         leaves = self.leaves
@@ -371,8 +377,9 @@ class EventScheduler:
             m.cycle = cycle
             if cycle > max_cycles:
                 self.executed_cycles += executed
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles}")
+                m._raise_limit(max_cycles)
+            if faults is not None and faults.next_cycle <= cycle:
+                faults.apply(cycle)
             executed += 1
             if trace is not None:
                 trace.begin_cycle(cycle)

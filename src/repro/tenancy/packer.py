@@ -198,6 +198,94 @@ def pack_apps(apps: Sequence[str], scale: str = "tiny",
     return report
 
 
+def repack(report: PackReport, failed_region: Region,
+           apps: Sequence[str], scale: str = "tiny",
+           params: PlasticineParams = DEFAULT,
+           options: Optional[CompileOptions] = None) -> PackReport:
+    """Migrate tenants out of a failed region and recommit them.
+
+    ``failed_region`` marks hardware declared broken (e.g. from a
+    :class:`~repro.errors.FaultError`'s unit sites).  Tenants whose
+    regions do not touch it keep their committed artifacts untouched;
+    each overlapping tenant is re-placed into a fresh rectangle that
+    avoids both the failed region and every healthy tenant, and
+    recompiled there (measure-then-commit, same grow-and-retry loop as
+    :func:`pack_apps`).  The result is a fresh :class:`PackReport` in
+    the original tenant order, ready to replay through
+    :func:`repro.tenancy.run.co_run`.
+    """
+    from repro.compiler.artifact import compile_to_bitstream
+    failed_region = failed_region.validate(params)
+    if not report.feasible:
+        raise MappingError(
+            "cannot repack an infeasible packing "
+            f"(failed app: {report.failed_app})")
+    if len(report.tenants) != len(apps):
+        raise MappingError(
+            f"repack needs the packing's app list: {len(apps)} apps "
+            f"for {len(report.tenants)} tenants")
+    total = params.grid_cols * params.grid_rows
+    keep = [t for t in report.tenants
+            if not t.region.overlaps(failed_region)]
+    movers = [(t, app) for t, app in zip(report.tenants, apps)
+              if t.region.overlaps(failed_region)]
+    if not movers:
+        return report
+    taken = [t.region for t in keep] + [failed_region]
+    migrated: Dict[int, PackedTenant] = {}
+    # largest movers first: hardest to place, same FFD discipline
+    order = sorted(range(len(movers)),
+                   key=lambda i: movers[i][0].footprint.area,
+                   reverse=True)
+    for index in order:
+        tenant, app = movers[index]
+        fp = tenant.footprint
+        slack = 0
+        placed = None
+        for _ in range(_MAX_RETRIES):
+            fit = _first_fit(params, fp.pcus + slack, fp.pmus + slack,
+                             taken)
+            if fit is None:
+                return PackReport(
+                    feasible=False,
+                    tenants=keep + [m for m, _ in movers],
+                    sites_used=sum(r.area for r in taken
+                                   if r is not failed_region),
+                    sites_total=total, failed_app=fp.app,
+                    reason=(f"no free rectangle left for {fp.app} "
+                            f"({fp.pcus} PCUs + {fp.pmus} PMUs) after "
+                            f"excluding failed region "
+                            f"{failed_region}"))
+            try:
+                artifact = compile_to_bitstream(
+                    app, scale, params=params, options=options,
+                    region=fit.region)
+            except MappingError:
+                slack += 2
+                continue
+            placed = PackedTenant(fp.app, fit.region, fp,
+                                  fit.capacity, artifact)
+            break
+        if placed is None:
+            return PackReport(
+                feasible=False,
+                tenants=keep + [m for m, _ in movers],
+                sites_used=sum(r.area for r in taken
+                               if r is not failed_region),
+                sites_total=total, failed_app=fp.app,
+                reason=(f"could not commit {fp.app} into any fresh "
+                        f"rectangle after {_MAX_RETRIES} retries"))
+        taken.append(placed.region)
+        migrated[index] = placed
+    by_old = {id(t): migrated[i]
+              for i, (t, _) in enumerate(movers) if i in migrated}
+    tenants = [by_old.get(id(t), t) for t in report.tenants]
+    return PackReport(
+        feasible=True, tenants=tenants,
+        sites_used=sum(t.region.area for t in tenants),
+        sites_total=total)
+
+
 def _unique_names(apps: Sequence[str]) -> List[str]:
     """Stable unique tenant names for possibly-repeated app names."""
     seen: Dict[str, int] = {}

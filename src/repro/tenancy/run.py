@@ -76,12 +76,18 @@ def co_run(apps: Sequence[str], scale: str = "tiny",
            watchdog: int = 50_000,
            max_cycles: int = 20_000_000,
            validate: bool = True,
-           tracer_factory=None) -> CoRunResult:
+           tracer_factory=None,
+           packing: Optional[PackReport] = None) -> CoRunResult:
     """Pack ``apps`` onto one fabric, run to completion, validate.
 
     ``tracer_factory`` (tenant name -> Tracer) attaches one tracer per
     tenant; each sees only its own units and its own slice of the
     shared DRAM channels, so stall attribution is per-tenant.
+
+    ``packing`` replays an already-committed :class:`PackReport`
+    (e.g. one produced by :func:`repro.tenancy.packer.repack` after a
+    fault) instead of planning a fresh one; the report's tenants must
+    line up with ``apps``.
     """
     from repro.apps.registry import get_app
     from repro.compiler.artifact import compile_to_bitstream
@@ -89,17 +95,23 @@ def co_run(apps: Sequence[str], scale: str = "tiny",
         raise ValueError("co_run needs at least one app")
     fabric = Fabric(watchdog=watchdog, max_cycles=max_cycles)
     report = None
-    if len(apps) == 1:
+    if packing is None and len(apps) == 1:
         artifact = compile_to_bitstream(apps[0], scale, params=params,
                                         options=options)
         entries = [(apps[0], apps[0], artifact, None)]
     else:
-        packing = pack_apps(apps, scale, params=params, options=options)
+        if packing is None:
+            packing = pack_apps(apps, scale, params=params,
+                                options=options)
         report = packing.as_dict()
         if not packing.feasible:
             raise MappingError(
                 f"cannot co-locate {list(apps)} on one fabric: "
                 f"{packing.reason}")
+        if len(packing.tenants) != len(apps):
+            raise MappingError(
+                f"packing carries {len(packing.tenants)} tenants for "
+                f"{len(apps)} apps")
         entries = [(tenant.footprint.app, app, tenant.artifact,
                     tenant.region.as_tuple())
                    for tenant, app in zip(packing.tenants, apps)]

@@ -166,4 +166,5 @@ def test_service_stats_nesting_and_cache_fold():
     snap = stats.to_dict()
     assert snap["compile_cache"] == {"hits": 1, "misses": 1, "off": 1,
                                      "corrupt": 1}
-    assert set(snap) == {"requests", "work", "compile_cache", "latency"}
+    assert set(snap) == {"requests", "work", "compile_cache", "faults",
+                         "latency"}

@@ -1,0 +1,235 @@
+"""Serve-tier fault tolerance: crashes, retries, circuit breaking.
+
+The injected-runner tests pin the control flow (fail fast on a dead
+worker, bounded retries, breaker state machine) without real process
+pools; the final test kills a real pool worker with SIGKILL and
+demands the job still completes — the end-to-end satellite.
+"""
+
+import asyncio
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.serve.http import dispatch
+from repro.serve.metrics import CircuitBreaker
+from repro.serve.service import ReproService, ServeConfig
+
+APP_BODY = {"app": "innerproduct", "scale": "tiny"}
+
+
+def _submit(service, mode="compile", body=None):
+    return asyncio.run(service.submit(mode, body or dict(APP_BODY)))
+
+
+# -- worker-crash recovery ----------------------------------------------------
+
+
+def test_crash_then_success_is_retried_transparently():
+    calls = {"n": 0}
+
+    def flaky(payload):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise BrokenProcessPool("worker died mid-job")
+        return {"ok": True, "status": 200, "mode": "compile"}
+
+    service = ReproService(
+        ServeConfig(max_retries=2, retry_base_s=0.001), runner=flaky)
+    status, result = _submit(service)
+    assert status == 200
+    assert service.stats.worker_crashes == 1
+    assert service.stats.retries == 1
+    assert service.stats.completed == 1
+
+
+def test_persistent_crasher_fails_fast_with_typed_503():
+    """Satellite: a worker dying between dispatch and result read must
+    NOT wait out the wall timeout — the future breaks immediately."""
+
+    def dead(payload):
+        raise BrokenProcessPool("boom")
+
+    service = ReproService(
+        ServeConfig(max_retries=2, retry_base_s=0.001,
+                    timeout_s=300.0),
+        runner=dead)
+    started = time.perf_counter()
+    status, result = _submit(service)
+    elapsed = time.perf_counter() - started
+    assert status == 503
+    assert result["error"]["stage"] == "worker"
+    assert result["error"]["type"] == "WorkerCrashed"
+    assert "job" in result
+    # fail-fast: nowhere near the 300 s timeout, and no 504
+    assert elapsed < 30
+    assert service.stats.timeouts == 0
+    assert service.stats.worker_crashes == 3   # initial + 2 retries
+    assert service.stats.retries == 2
+
+
+def test_crash_outcome_is_not_cached():
+    calls = {"n": 0}
+
+    def once(payload):
+        calls["n"] += 1
+        if calls["n"] <= 2:
+            raise BrokenProcessPool("boom")
+        return {"ok": True, "status": 200, "mode": "compile"}
+
+    service = ReproService(
+        ServeConfig(max_retries=0, retry_base_s=0.001), runner=once)
+    status, _ = _submit(service)
+    assert status == 503
+    status, _ = _submit(service)
+    assert status == 503
+    status, result = _submit(service)    # worker healthy again
+    assert status == 200
+    assert result.get("served") != "result-cache"
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_state_machine():
+    now = [0.0]
+    breaker = CircuitBreaker(threshold=2, cooldown_s=1.0,
+                             clock=lambda: now[0])
+    assert breaker.allow() and breaker.state == "closed"
+    breaker.record(False)
+    assert breaker.state == "closed"      # 1 failure < threshold
+    breaker.record(False)
+    assert breaker.state == "open"
+    assert breaker.opened_total == 1
+    assert not breaker.allow()            # shedding
+    assert breaker.shed == 1
+    now[0] = 1.5
+    assert breaker.allow()                # half-open probe admitted
+    assert breaker.state == "half-open"
+    assert not breaker.allow()            # but only one probe
+    breaker.record(False)                 # probe failed -> reopen
+    assert breaker.state == "open"
+    assert breaker.opened_total == 2
+    now[0] = 3.0
+    assert breaker.allow()
+    breaker.record(True)                  # probe succeeded -> close
+    assert breaker.state == "closed"
+    assert breaker.failures == 0
+    assert breaker.allow()
+
+
+def test_breaker_sheds_with_503_and_retry_after():
+    def dead(payload):
+        raise BrokenProcessPool("boom")
+
+    service = ReproService(
+        ServeConfig(max_retries=0, retry_base_s=0.001,
+                    breaker_threshold=2, breaker_cooldown_s=60.0),
+        runner=dead)
+    for app in ("innerproduct", "gemm"):
+        status, _ = _submit(service, body={"app": app,
+                                           "scale": "tiny"})
+        assert status == 503
+    # breaker now open: the next request is shed WITHOUT running
+    status, result = _submit(service, body={"app": "tpchq6",
+                                            "scale": "tiny"})
+    assert status == 503
+    assert "circuit breaker open" in result["error"]
+    assert result["retry_after_s"] > 0
+    assert service.stats.breaker_shed == 1
+    # the HTTP layer turns the hint into a Retry-After header
+    response = asyncio.run(dispatch(
+        service, "POST", "/compile",
+        b'{"app": "outerproduct", "scale": "tiny"}'))
+    assert response.status == 503
+    assert "Retry-After" in response.headers
+
+
+def test_breaker_is_per_endpoint():
+    def dead(payload):
+        raise BrokenProcessPool("boom")
+
+    service = ReproService(
+        ServeConfig(max_retries=0, retry_base_s=0.001,
+                    breaker_threshold=1, breaker_cooldown_s=60.0),
+        runner=dead)
+    status, _ = _submit(service, mode="compile")
+    assert status == 503
+    assert service._breakers["compile"].state == "open"
+    # /simulate and /multi are unaffected by the compile breaker
+    assert service._breakers["simulate"].state == "closed"
+    assert service._breakers["multi"].state == "closed"
+
+
+def test_client_errors_do_not_trip_the_breaker():
+    def rejecting(payload):
+        return {"ok": False, "status": 422,
+                "error": {"stage": "compile", "type": "MappingError",
+                          "message": "does not fit"}}
+
+    service = ReproService(
+        ServeConfig(breaker_threshold=2), runner=rejecting)
+    for app in ("innerproduct", "gemm", "tpchq6"):
+        status, _ = _submit(service, body={"app": app,
+                                           "scale": "tiny"})
+        assert status == 422
+    assert service._breakers["compile"].state == "closed"
+    assert service.stats.breaker_shed == 0
+
+
+def test_statsz_reports_fault_counters_and_breakers():
+    service = ReproService(ServeConfig(chaos=True))
+    snapshot = service.statsz()
+    assert snapshot["faults"] == {"worker_crashes": 0, "retries": 0,
+                                  "respawns": 0, "breaker_shed": 0}
+    assert set(snapshot["breakers"]) == {"compile", "simulate",
+                                         "multi"}
+    assert snapshot["breakers"]["compile"]["state"] == "closed"
+    assert snapshot["config"]["chaos"] is True
+    assert snapshot["config"]["max_retries"] == 2
+
+
+# -- chaos endpoint -----------------------------------------------------------
+
+
+def test_chaos_kill_is_gated():
+    service = ReproService(ServeConfig())       # chaos off
+    response = asyncio.run(dispatch(service, "POST", "/chaos/kill",
+                                    b""))
+    assert response.status == 404
+    with_runner = ReproService(ServeConfig(chaos=True),
+                               runner=lambda p: {"ok": True})
+    response = asyncio.run(dispatch(with_runner, "POST", "/chaos/kill",
+                                    b""))
+    assert response.status == 409               # no real pool to kill
+    response = asyncio.run(dispatch(with_runner, "GET", "/chaos/kill",
+                                    b""))
+    assert response.status == 405
+
+
+def test_real_worker_sigkill_is_survived(tmp_path):
+    """End to end: SIGKILL a real pool worker, the job still lands."""
+
+    async def scenario():
+        service = ReproService(ServeConfig(
+            jobs=1, chaos=True, max_retries=2, retry_base_s=0.01,
+            cache_dir=str(tmp_path / "cache"),
+            data_dir=str(tmp_path / "data")))
+        try:
+            # warm the pool so there is a live worker to murder
+            status, _ = await service.submit("compile",
+                                             dict(APP_BODY))
+            assert status == 200
+            status, payload = service.chaos_kill_worker()
+            assert status == 200
+            assert payload["killed"] is not None
+            # next job hits the broken pool, respawns, and completes
+            status, result = await service.submit(
+                "compile", {"app": "gemm", "scale": "tiny"})
+            assert status == 200, result
+            assert service.stats.respawns >= 1
+        finally:
+            await service.drain()
+
+    asyncio.run(scenario())
