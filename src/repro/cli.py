@@ -274,11 +274,19 @@ def _cmd_run_multi(args) -> int:
     from repro.errors import MappingError
     from repro.tenancy import co_run
 
+    priorities = args.priority
+    if priorities is not None and len(priorities) != len(args.multi):
+        print(f"repro run --multi: --priority wants one weight per "
+              f"app ({len(args.multi)} apps, {len(priorities)} "
+              f"weights)", file=sys.stderr)
+        return 2
     started = time.time()
     try:
         res = co_run(args.multi, scale=args.scale,
                      watchdog=args.watchdog,
-                     max_cycles=args.max_cycles)
+                     max_cycles=args.max_cycles,
+                     priorities=priorities,
+                     bandwidth_aware=args.bandwidth_aware)
     except MappingError as err:
         print(f"repro run --multi: {err}", file=sys.stderr)
         return 1
@@ -286,8 +294,8 @@ def _cmd_run_multi(args) -> int:
     n = len(res.tenants)
     print(f"co-resident fabric: {n} tenants, "
           f"{res.fabric_cycles} cycles ({elapsed * 1e3:.0f} ms)")
-    print(f"  {'tenant':14s} {'region':>10s} {'cycles':>8s} "
-          f"{'dram B/cyc':>10s}  validated")
+    print(f"  {'tenant':14s} {'region':>10s} {'prio':>4s} "
+          f"{'cycles':>8s} {'dram B/cyc':>10s}  validated")
     for t in res.tenants:
         if t.region:
             col0, row0, cols, rows = t.region
@@ -295,8 +303,9 @@ def _cmd_run_multi(args) -> int:
         else:
             region = "full"
         bpc = t.stats.dram.get("bytes", 0) / max(1, t.stats.cycles)
-        print(f"  {t.name:14s} {region:>10s} {t.stats.cycles:8d} "
-              f"{bpc:10.1f}  {'yes' if t.validated else 'no'}")
+        print(f"  {t.name:14s} {region:>10s} {t.priority:4d} "
+              f"{t.stats.cycles:8d} {bpc:10.1f}  "
+              f"{'yes' if t.validated else 'no'}")
     util = ", ".join(f"{ch}={v['util'] * 100:.1f}%"
                      for ch, v in sorted(res.channel_util.items()))
     print(f"  shared DRAM channel utilization: {util}")
@@ -304,6 +313,22 @@ def _cmd_run_multi(args) -> int:
         share = ", ".join(f"{ch}={v['util'] * 100:.1f}%"
                           for ch, v in sorted(t.channel_util.items()))
         print(f"    {t.name}: {share}")
+    if res.qos and res.qos.get("weighted"):
+        print("  QoS arbitration (weighted FR-FCFS):")
+        for name, entry in sorted(res.qos["tenants"].items()):
+            print(f"    {name}: weight {entry['priority']}, "
+                  f"won {entry['arb_won']} / deferred "
+                  f"{entry['arb_deferred']} contended grants")
+    bandwidth = (res.pack_report or {}).get("bandwidth")
+    if bandwidth:
+        classes = ", ".join(
+            f"{name}={prof['class']}"
+            for name, prof in sorted(bandwidth["tenants"].items()))
+        print(f"  bandwidth classes: {classes}")
+        demand = bandwidth["predicted_channel_demand"]
+        peak = max(v["fraction_of_peak"] for v in demand.values())
+        print(f"  predicted channel demand: "
+              f"{100 * peak:.1f}% of peak per channel")
     return 0
 
 
@@ -554,6 +579,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="co-simulate several benchmarks as tenants "
                           "of one shared fabric (disjoint regions, "
                           "shared DRAM channels, per-tenant stats)")
+    run.add_argument("--priority", nargs="+", type=_positive_int,
+                     default=None, metavar="W",
+                     help="with --multi: one QoS weight per app for "
+                          "the shared DRAM arbitration (all-equal "
+                          "weights run plain FR-FCFS bit-identically)")
+    run.add_argument("--bandwidth-aware", action="store_true",
+                     help="with --multi: profile each app solo, "
+                          "classify compute- vs memory-bound, and "
+                          "interleave the classes when packing regions")
     run.add_argument("--artifact", default=None, metavar="PATH",
                      help="simulate a saved bitstream artifact instead "
                           "of compiling")
@@ -604,6 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "style 78-instance grid instead of the "
                             "registry loop; with --baseline, gate on "
                             "benchmarks/batch_baseline.json")
+    bench.add_argument("--qos-baseline", default=None, metavar="PATH",
+                       help="with --multi: also run the QoS benchmark "
+                            "(high-priority tenant among memory-bound "
+                            "riders, weighted vs unweighted DRAM "
+                            "arbitration) and gate against e.g. "
+                            "benchmarks/qos_baseline.json")
     bench.add_argument("--scale", default="small",
                        choices=("tiny", "small"))
     bench.add_argument("--quick", action="store_true",
@@ -740,6 +780,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "request is a POST /multi pair, with a "
                            "coschedule-opted app job between (0 "
                            "disables)")
+    load.add_argument("--priority-every", type=int, default=0,
+                      metavar="N",
+                      help="with --multi-every: every N-th multi-"
+                           "tenant body claims an elevated QoS "
+                           "priority, exercising weighted DRAM "
+                           "arbitration under load (0 disables)")
     load.add_argument("--kill-every", type=int, default=0,
                       metavar="N",
                       help="chaos: SIGKILL a server pool worker after "

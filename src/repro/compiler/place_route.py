@@ -184,20 +184,21 @@ class Fabric:
 
     # -- placement ---------------------------------------------------------------
     def _take_nearest(self, pool: List[Site],
-                      near: Optional[Site]) -> Site:
+                      near: Optional[Site],
+                      kind: str = "unit") -> Site:
         if not pool:
             masked = (f" ({len(self.excluded)} sites excluded as "
                       f"failed)" if self.excluded else "")
             if self._constrained:
                 raise MappingError(
                     f"design footprint exceeds region "
-                    f"{self.region}: no free unit of the requested "
-                    f"kind left ({self._initial_pcus} PCU / "
+                    f"{self.region}: no free {kind} site "
+                    f"left ({self._initial_pcus} PCU / "
                     f"{self._initial_pmus} PMU sites total{masked}); "
                     f"choose a larger region instead of spilling "
                     f"outside it")
-            raise MappingError(f"fabric exhausted: no free unit of the "
-                               f"requested kind{masked}")
+            raise MappingError(f"fabric exhausted: no free {kind} "
+                               f"site left{masked}")
         if near is None:
             return pool.pop(0)
         best = min(pool, key=lambda s: abs(s[0] - near[0])
@@ -220,7 +221,7 @@ class Fabric:
         sites = []
         anchor = near
         for _ in range(count):
-            site = self._take_nearest(self.free_pcus, anchor)
+            site = self._take_nearest(self.free_pcus, anchor, "PCU")
             sites.append(site)
             anchor = site
         self.placed.setdefault(name, []).extend(sites)
@@ -232,7 +233,7 @@ class Fabric:
         sites = []
         anchor = near
         for _ in range(count):
-            site = self._take_nearest(self.free_pmus, anchor)
+            site = self._take_nearest(self.free_pmus, anchor, "PMU")
             sites.append(site)
             anchor = site
         self.placed.setdefault(name, []).extend(sites)

@@ -58,6 +58,21 @@ class DramModel:
             channel.trace_name = f"ch{k}"
             tracer.register_track(channel.trace_name, "dram")
 
+    def set_tenant_weight(self, tenant: int, weight: int) -> None:
+        """Register one tenant's QoS weight on every channel.
+
+        Weighted FR-FCFS arbitration engages only when the registered
+        weights are non-uniform; equal weights (or none) keep every
+        channel on the bit-identical plain FR-FCFS path.
+        """
+        for channel in self.channels:
+            channel.set_tenant_weight(tenant, weight)
+
+    @property
+    def weighted(self) -> bool:
+        """True when non-uniform weights put channels in QoS mode."""
+        return any(c._weighted for c in self.channels)
+
     # -- submission -------------------------------------------------------------
     def channel_of(self, byte_addr: int) -> int:
         """Channel index servicing a byte address."""
@@ -209,6 +224,12 @@ class DramModel:
         bus serialises bursts, so ``bursts * t_burst / cycles`` is exact
         bus occupancy).  With ``tenant`` given, only that tenant's bursts
         are counted — the per-tenant utilizations sum to the aggregate.
+
+        Channels running weighted QoS arbitration additionally report
+        ``arb_won`` / ``arb_deferred`` — contested-arbitration outcomes
+        per tenant (summed over tenants for the aggregate view).  The
+        keys are absent outside weighted mode, keeping equal-weight
+        runs bit-identical to plain FR-FCFS.
         """
         out: Dict[str, Dict[str, float]] = {}
         for k, channel in enumerate(self.channels):
@@ -222,8 +243,21 @@ class DramModel:
             util = 0.0
             if cycles > 0:
                 util = min(1.0, bursts * self.timing.t_burst / cycles)
-            out[f"ch{k}"] = {"bursts": bursts, "bytes": nbytes,
-                             "util": util}
+            entry: Dict[str, float] = {"bursts": bursts,
+                                       "bytes": nbytes, "util": util}
+            if channel._weighted:
+                if tenant is None:
+                    entry["arb_won"] = sum(
+                        t["arb_won"] for t in channel.arb_stats.values())
+                    entry["arb_deferred"] = sum(
+                        t["arb_deferred"]
+                        for t in channel.arb_stats.values())
+                else:
+                    arb = channel.arb_stats.get(
+                        tenant, {"arb_won": 0, "arb_deferred": 0})
+                    entry["arb_won"] = arb["arb_won"]
+                    entry["arb_deferred"] = arb["arb_deferred"]
+            out[f"ch{k}"] = entry
         return out
 
     def achieved_gbps(self) -> float:

@@ -33,8 +33,24 @@ class DdrTiming:
     t_ccd: int = 5
     #: write recovery before precharging a written row
     t_wr: int = 12
-    #: four-activate window: at most 4 row activations per rank per t_faw
+    #: four-activate window: at most ``faw_activates`` row activations
+    #: per rank per t_faw
     t_faw: int = 30
+    #: activations allowed inside one t_faw window (the "four" in
+    #: four-activate window; degraded-timing fault plans may shrink it)
+    faw_activates: int = 4
+
+    @property
+    def busy_skip_cycles(self) -> int:
+        """Scheduler skip horizon for a deeply busy bank.
+
+        A queued request whose bank stays busy beyond this many cycles
+        is not worth considering this cycle: even a back-to-back column
+        burst stream (one command per ``t_ccd``) would drain
+        ``faw_activates`` commands first.  Deriving the window from the
+        timing keeps degraded-timing fault plans self-consistent.
+        """
+        return self.t_ccd * self.faw_activates
 
     @property
     def row_hit_latency(self) -> int:

@@ -54,7 +54,8 @@ MULTI_APPS = ("gemm", "tpchq6", "innerproduct", "outerproduct")
 
 def make_requests(total: int, unique: int, seed: int = 0,
                   trace_every: int = 0,
-                  multi_every: int = 0) -> List[dict]:
+                  multi_every: int = 0,
+                  priority_every: int = 0) -> List[dict]:
     """A deterministic request mix: ``unique`` distinct specs, padded
     to ``total`` with duplicates, deterministically shuffled.
 
@@ -62,25 +63,36 @@ def make_requests(total: int, unique: int, seed: int = 0,
     a direct ``POST /multi`` pair, and the slot halfway between becomes
     an app-simulate job opted into service-side co-scheduling — so a
     concurrent replay exercises both the explicit and the batched
-    co-residency paths.  Bodies carry a ``_path`` hint the replay
-    worker pops before sending.
+    co-residency paths.  ``priority_every`` makes every N-th of those
+    multi-tenant bodies claim an elevated QoS weight (the /multi pair
+    boosts its first tenant; the coschedule job boosts itself), so a
+    mixed replay drives the weighted DRAM arbitration too.  Bodies
+    carry a ``_path`` hint the replay worker pops before sending.
     """
     unique = max(1, min(unique, total))
     specs = [gen_spec(seed * 100_000 + k) for k in range(unique)]
     rng = np.random.default_rng(seed)
     bodies = []
+    multis = 0
     for k in range(total):
         if multi_every and k % multi_every == 0:
             pair = [MULTI_APPS[(k // multi_every) % len(MULTI_APPS)],
                     MULTI_APPS[(k // multi_every + 1) % len(MULTI_APPS)]]
-            bodies.append({"_path": "/multi", "apps": pair,
-                           "scale": "tiny"})
+            body = {"_path": "/multi", "apps": pair, "scale": "tiny"}
+            multis += 1
+            if priority_every and multis % priority_every == 0:
+                body["priorities"] = [4, 1]
+            bodies.append(body)
             continue
         if multi_every and k % multi_every == max(1, multi_every // 2):
             app = MULTI_APPS[(k // multi_every) % len(MULTI_APPS)]
-            bodies.append({"_path": "/simulate", "app": app,
-                           "scale": "tiny",
-                           "params": {"coschedule": True}})
+            body = {"_path": "/simulate", "app": app,
+                    "scale": "tiny",
+                    "params": {"coschedule": True}}
+            multis += 1
+            if priority_every and multis % priority_every == 0:
+                body["params"]["priority"] = 4
+            bodies.append(body)
             continue
         spec = specs[k] if k < unique else \
             specs[int(rng.integers(unique))]
@@ -183,12 +195,14 @@ def _percentile(samples: List[float], p: float) -> float:
 def run_loadtest(host: str, port: int, requests: int = 200,
                  concurrency: int = 16, unique: int = 0, seed: int = 0,
                  trace_every: int = 0, multi_every: int = 0,
+                 priority_every: int = 0,
                  kill_every: int = 0) -> dict:
     """Replay a request mix and assemble the report dict."""
     unique = unique or max(1, requests // 5)
     bodies = make_requests(requests, unique, seed,
                            trace_every=trace_every,
-                           multi_every=multi_every)
+                           multi_every=multi_every,
+                           priority_every=priority_every)
     _, before = sync_request(host, port, "GET", "/statsz")
     started = time.perf_counter()
     records, chaos = asyncio.run(
@@ -214,6 +228,7 @@ def run_loadtest(host: str, port: int, requests: int = 200,
         "concurrency": concurrency,
         "seed": seed,
         "multi_every": multi_every,
+        "priority_every": priority_every,
         "multi_ok": len(multi_ok),
         "coscheduled_ok": len(cosched_ok),
         "ok": len(oks),
@@ -242,6 +257,8 @@ def run_loadtest(host: str, port: int, requests: int = 200,
             "multis": delta("work", "multis"),
             "coschedule_batches": delta("work", "coschedule_batches"),
             "coschedule_jobs": delta("work", "coschedule_jobs"),
+            "priority_jobs": delta("qos", "priority_jobs"),
+            "cosched_reordered": delta("qos", "cosched_reordered"),
             "worker_crashes": delta("faults", "worker_crashes"),
             "worker_retries": delta("faults", "retries"),
             "respawns": delta("faults", "respawns"),
@@ -281,6 +298,11 @@ def render(report: dict) -> str:
              f"{server['coschedule_batches']} batches / "
              f"{server['coschedule_jobs']} batched jobs, "
              f"{server['multis']} fabric runs"])
+    if report.get("priority_every"):
+        rows.append(
+            ["qos", f"{server['priority_jobs']} priority jobs",
+             f"{server['cosched_reordered']} batches re-seated "
+             f"off FIFO order"])
     if report.get("kill_every"):
         rows.append(
             ["chaos", f"{report['kills']} workers killed",
@@ -398,6 +420,7 @@ def cmd_loadtest(args) -> int:
                 concurrency=args.concurrency, unique=args.unique,
                 seed=args.seed, trace_every=args.trace_every,
                 multi_every=args.multi_every,
+                priority_every=args.priority_every,
                 kill_every=args.kill_every)
     else:
         if not wait_healthy(args.host, args.port, timeout_s=5.0):
@@ -411,6 +434,7 @@ def cmd_loadtest(args) -> int:
             concurrency=args.concurrency, unique=args.unique,
             seed=args.seed, trace_every=args.trace_every,
             multi_every=args.multi_every,
+            priority_every=args.priority_every,
             kill_every=args.kill_every)
     print(render(report))
     if args.out:

@@ -29,9 +29,17 @@ from repro.eval.bench import git_rev
 #: report format version
 MULTI_FORMAT = 1
 
+#: QoS report format version
+QOS_FORMAT = 1
+
 #: default co-resident pair: compute-light, DRAM-hungry streaming apps
 #: whose footprints trivially fit side by side at every scale
 DEFAULT_PAIR = ("gemm", "tpchq6")
+
+#: QoS benchmark workload: one latency-sensitive tenant leading, then
+#: memory-bound riders that contend for the shared DRAM channels
+QOS_APPS = ("gemm", "tpchq6", "tpchq6", "tpchq6")
+QOS_PRIORITIES = (8, 1, 1, 1)
 
 
 def run_multi_benchmark(apps: Sequence[str] = DEFAULT_PAIR,
@@ -161,6 +169,114 @@ def render_multi(report: dict) -> str:
     return "\n".join(lines)
 
 
+def run_qos_benchmark(apps: Sequence[str] = QOS_APPS,
+                      priorities: Sequence[int] = QOS_PRIORITIES,
+                      scale: str = "tiny") -> dict:
+    """Weighted vs unweighted DRAM arbitration for one QoS workload.
+
+    Runs the same co-resident set twice — plain FR-FCFS, then with the
+    given per-tenant weights — and reports the high-priority tenant's
+    completion latency under both.  Both runs are deterministic, so the
+    gate pins exact cycle counts; the point of the benchmark is that
+    the weighted run finishes the high-priority tenant measurably
+    earlier while total makespan stays sane.
+    """
+    from repro.tenancy import co_run
+    from repro.tenancy.profile import profile_app
+
+    if len(priorities) != len(apps):
+        raise ValueError(f"{len(priorities)} priorities for "
+                         f"{len(apps)} apps")
+    base = co_run(list(apps), scale=scale, validate=True)
+    weighted = co_run(list(apps), scale=scale, validate=True,
+                      priorities=list(priorities))
+    hi = max(range(len(priorities)), key=lambda k: priorities[k])
+    hi_base, hi_weighted = base.tenants[hi], weighted.tenants[hi]
+    speedup = (hi_base.finish_cycle / hi_weighted.finish_cycle
+               if hi_weighted.finish_cycle else 0.0)
+    return {
+        "format": QOS_FORMAT,
+        "rev": git_rev(),
+        "scale": scale,
+        "apps": list(apps),
+        "priorities": list(priorities),
+        "hi_tenant": hi_weighted.name,
+        "unweighted_hi_cycles": hi_base.finish_cycle,
+        "weighted_hi_cycles": hi_weighted.finish_cycle,
+        "hi_speedup": round(speedup, 4),
+        "unweighted_fabric_cycles": base.fabric_cycles,
+        "weighted_fabric_cycles": weighted.fabric_cycles,
+        "bandwidth_classes": {
+            app: profile_app(app, scale).klass
+            for app in dict.fromkeys(apps)},
+        "qos": weighted.qos,
+        "validated": all(t.validated for t in base.tenants)
+        and all(t.validated for t in weighted.tenants),
+    }
+
+
+def compare_qos(report: dict, baseline: dict) -> List[str]:
+    """QoS-gate check; returns failure messages (empty = pass)."""
+    failures: List[str] = []
+    for key in ("apps", "priorities"):
+        want = baseline.get(key)
+        if want is not None and report[key] != want:
+            failures.append(
+                f"qos workload changed: {key} {report[key]} vs "
+                f"baseline {want} (update "
+                f"benchmarks/qos_baseline.json if intended)")
+    if failures:
+        return failures
+    if not report["validated"]:
+        failures.append("qos benchmark tenants were not validated")
+    for key in ("unweighted_hi_cycles", "weighted_hi_cycles",
+                "unweighted_fabric_cycles", "weighted_fabric_cycles"):
+        want = baseline.get(key)
+        if want is not None and report[key] != want:
+            failures.append(
+                f"{key} changed: {want} -> {report[key]} (the "
+                f"model's answer changed; refresh the baseline only "
+                f"if this is an intended change)")
+    if report["weighted_hi_cycles"] >= report["unweighted_hi_cycles"]:
+        failures.append(
+            f"priority buys nothing: high-priority tenant finished at "
+            f"cycle {report['weighted_hi_cycles']} weighted vs "
+            f"{report['unweighted_hi_cycles']} unweighted")
+    floor = float(baseline.get("min_hi_speedup", 0.0))
+    if report["hi_speedup"] < floor:
+        failures.append(
+            f"qos regression: high-priority completion speedup "
+            f"{report['hi_speedup']:.3f}x vs committed floor "
+            f"{floor:.3f}x")
+    return failures
+
+
+def render_qos(report: dict) -> str:
+    """Human-readable QoS benchmark summary."""
+    pairs = ", ".join(f"{a}:{p}" for a, p in zip(report["apps"],
+                                                 report["priorities"]))
+    classes = ", ".join(f"{a}={c}" for a, c
+                        in sorted(report["bandwidth_classes"].items()))
+    lines = [
+        f"qos arbitration — {pairs} ({report['scale']}), "
+        f"rev={report['rev']}",
+        f"  bandwidth classes: {classes}",
+        f"  high-priority tenant {report['hi_tenant']}: finish cycle "
+        f"{report['unweighted_hi_cycles']} unweighted -> "
+        f"{report['weighted_hi_cycles']} weighted "
+        f"({report['hi_speedup']:.3f}x faster completion)",
+        f"  fabric makespan: {report['unweighted_fabric_cycles']} "
+        f"unweighted -> {report['weighted_fabric_cycles']} weighted",
+    ]
+    qos = report.get("qos") or {}
+    for name, entry in sorted((qos.get("tenants") or {}).items()):
+        lines.append(
+            f"    {name}: weight {entry['priority']}, won "
+            f"{entry['arb_won']} / deferred {entry['arb_deferred']} "
+            f"contended grants")
+    return "\n".join(lines)
+
+
 def cmd_bench_multi(args) -> int:
     """The ``repro bench --multi`` path (wired from ``cmd_bench``)."""
     import sys
@@ -190,4 +306,26 @@ def cmd_bench_multi(args) -> int:
         for failure in report["equivalence_failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    if getattr(args, "qos_baseline", None):
+        with open(args.qos_baseline) as fh:
+            qos_baseline = json.load(fh)
+        qos_report = run_qos_benchmark(
+            apps=qos_baseline.get("apps", QOS_APPS),
+            priorities=qos_baseline.get("priorities", QOS_PRIORITIES),
+            scale=scale)
+        print()
+        print(render_qos(qos_report))
+        qos_path = os.path.join(args.out,
+                                f"QOS_{qos_report['rev']}.json")
+        with open(qos_path, "w") as fh:
+            json.dump(qos_report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {qos_path}")
+        qos_failures = compare_qos(qos_report, qos_baseline)
+        if qos_failures:
+            for failure in qos_failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"qos gate passed (floor "
+              f"{qos_baseline.get('min_hi_speedup', 0):.3f}x)")
     return 0

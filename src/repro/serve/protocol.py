@@ -40,6 +40,10 @@ MODES = ("compile", "simulate", "multi")
 #: tenants one multi request (or one co-schedule batch) may carry
 MAX_TENANTS = 6
 
+#: highest QoS weight a request may claim in the shared DRAM
+#: arbitration (weights are small integers; 1 = best effort)
+MAX_PRIORITY = 8
+
 #: server-side ceilings a request may not exceed (the service clamps
 #: its own defaults to these too)
 MAX_CYCLES_CAP = 20_000_000
@@ -83,6 +87,10 @@ class JobParams:
     #: queued coschedule jobs (answers then depend on the batch mix, so
     #: they bypass the result cache)
     coschedule: bool = False
+    #: QoS weight in the shared DRAM arbitration when this job lands on
+    #: a multi-tenant fabric (co-scheduling); 1 = best effort, up to
+    #: :data:`MAX_PRIORITY`.  Solo runs ignore it (nothing to arbitrate)
+    priority: int = 1
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -91,7 +99,7 @@ class JobParams:
 _PARAM_FIELDS = {
     "scheduler": str, "max_cycles": int, "watchdog": int, "trace": bool,
     "trace_sample": int, "tile_words": int, "whole_budget": int,
-    "coschedule": bool,
+    "coschedule": bool, "priority": int,
 }
 
 
@@ -121,12 +129,17 @@ def _parse_params(data: Any) -> JobParams:
         errors.append({"path": "params.scheduler",
                        "message": f"expected one of {list(SCHEDULERS)}"})
     for name in ("max_cycles", "watchdog", "trace_sample", "tile_words",
-                 "whole_budget"):
+                 "whole_budget", "priority"):
         value = data.get(name)
         if isinstance(value, int) and not isinstance(value, bool) \
                 and value < 1:
             errors.append({"path": f"params.{name}",
                            "message": "must be a positive integer"})
+    priority = data.get("priority")
+    if isinstance(priority, int) and not isinstance(priority, bool) \
+            and priority > MAX_PRIORITY:
+        errors.append({"path": "params.priority",
+                       "message": f"at most {MAX_PRIORITY}"})
     if errors:
         raise RequestError(400, "invalid params", errors)
     merged = {**JobParams().to_dict(), **data}
@@ -155,6 +168,10 @@ class JobRequest:
     artifact_hash: Optional[str] = None
     #: co-resident registry apps for mode="multi"
     apps: Optional[Tuple[str, ...]] = None
+    #: per-tenant QoS weights for mode="multi" (lines up with ``apps``;
+    #: None = all best-effort).  Weights change the answer, so they are
+    #: part of the job key
+    priorities: Optional[Tuple[int, ...]] = None
     #: identity of the work (spec digest / app+scale / artifact hash)
     ident: str = field(default="", compare=False)
 
@@ -162,7 +179,9 @@ class JobRequest:
     def key(self) -> str:
         """Coalescing / result-cache key: identity + mode + params."""
         blob = json.dumps({"ident": self.ident, "mode": self.mode,
-                           "params": self.params.to_dict()},
+                           "params": self.params.to_dict(),
+                           "priorities": (list(self.priorities)
+                                          if self.priorities else None)},
                           sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
 
@@ -186,6 +205,8 @@ class JobRequest:
             "scale": self.scale,
             "artifact_hash": self.artifact_hash,
             "apps": list(self.apps) if self.apps else None,
+            "priorities": (list(self.priorities)
+                           if self.priorities else None),
             "params": self.params.to_dict(),
             "cache_dir": cache_dir,
             "data_dir": data_dir,
@@ -278,7 +299,8 @@ def _parse_multi(body: dict) -> JobRequest:
     pure functions of apps+scale+params), so multi jobs coalesce and
     result-cache exactly like solo ones.
     """
-    unknown = sorted(set(body) - {"apps", "scale", "params"})
+    unknown = sorted(set(body) - {"apps", "scale", "params",
+                                  "priorities"})
     if unknown:
         raise RequestError(
             400, "unknown request fields",
@@ -309,6 +331,25 @@ def _parse_multi(body: dict) -> JobRequest:
             [{"path": "scale",
               "message": f"expected one of {list(SCALES)}, "
                          f"got {scale!r}"}])
+    priorities = body.get("priorities")
+    if priorities is not None:
+        if not isinstance(priorities, list) \
+                or len(priorities) != len(apps):
+            raise RequestError(
+                400, "priorities must line up with apps",
+                [{"path": "priorities",
+                  "message": f"expected a list of {len(apps)} "
+                             f"integers"}])
+        errors = [{"path": f"priorities[{k}]",
+                   "message": f"expected an integer in "
+                              f"1..{MAX_PRIORITY}, got {p!r}"}
+                  for k, p in enumerate(priorities)
+                  if not isinstance(p, int) or isinstance(p, bool)
+                  or not 1 <= p <= MAX_PRIORITY]
+        if errors:
+            raise RequestError(400, "invalid priorities", errors)
+        priorities = tuple(priorities)
     return JobRequest(mode="multi", kind="multi", params=params,
                       apps=tuple(apps), scale=scale,
+                      priorities=priorities,
                       ident=f"multi:{'+'.join(apps)}:{scale}")

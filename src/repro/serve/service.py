@@ -45,7 +45,7 @@ import random
 import signal
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -139,8 +139,14 @@ class ReproService:
         self._tasks: "set[asyncio.Task]" = set()
         #: open co-schedule batches: (scale, params) -> (entries, event)
         #: where entries is a list of (JobRequest, Future) and the event
-        #: flushes a full batch before its window expires
+        #: flushes a full batch before its window expires.  The group
+        #: params are priority-normalized so mixed-priority jobs share a
+        #: fabric (each tenant keeps its own weight)
         self._cosched: dict = {}
+        #: learned bandwidth classes: (app, scale) -> "memory"/"compute"
+        #: folded from completed solo runs and profiled pack reports;
+        #: co-schedule flushes seat batches with these
+        self._bw_classes: "dict[tuple, str]" = {}
         self._breakers: "dict[str, CircuitBreaker]" = {
             mode: CircuitBreaker(self.config.breaker_threshold,
                                  self.config.breaker_cooldown_s)
@@ -201,6 +207,9 @@ class ReproService:
         except RequestError as err:
             self.stats.invalid += 1
             return err.status, err.body()
+        if request.params.priority > 1 or (
+                request.priorities and max(request.priorities) > 1):
+            self.stats.priority_jobs += 1
         if self._draining:
             return 503, {"error": "service is draining"}
         breaker = self._breakers.get(request.mode)
@@ -246,10 +255,11 @@ class ReproService:
         """Hold an opted-in app-simulate job briefly to share a fabric.
 
         Jobs arriving within ``coschedule_window_s`` of each other (and
-        agreeing on scale + params) are packed as tenants of one
-        multi-tenant fabric run; each gets back its own per-tenant
-        stats.  Answers depend on the batch composition, so these jobs
-        bypass the result cache and coalescing table entirely.
+        agreeing on scale + params, QoS priority aside) are packed as
+        tenants of shared multi-tenant fabric runs; each gets back its
+        own per-tenant stats.  Answers depend on the batch composition,
+        so these jobs bypass the result cache and coalescing table
+        entirely.
         """
         if self._queued >= self.config.queue_depth:
             self.stats.rejected += 1
@@ -257,7 +267,9 @@ class ReproService:
                          "retry_after_s": self.retry_after()}
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        group = (request.scale, request.params)
+        # priority is per tenant, not per batch: normalize it out of
+        # the group key so mixed-priority arrivals share a fabric
+        group = (request.scale, replace(request.params, priority=1))
         batch = self._cosched.get(group)
         if batch is None:
             batch = ([], asyncio.Event())
@@ -281,10 +293,39 @@ class ReproService:
             pass
         del self._cosched[group]
         scale, params = group
+        batches = self._compose_cosched(entries, scale)
+        if [e for batch in batches for e in batch] != entries:
+            self.stats.cosched_reordered += 1
+        await asyncio.gather(*(
+            self._run_cosched_batch(batch, scale, params)
+            for batch in batches))
+
+    def _compose_cosched(self, entries, scale: str) -> "list[list]":
+        """Seat a flush's jobs into fabric batches, not FIFO.
+
+        High-priority jobs are seated first (they get fabric seats even
+        when a flush overflows into several batches), then
+        :func:`repro.tenancy.profile.compose_batches` deals memory-bound
+        jobs — per the classes the service has learned from completed
+        runs — round-robin across the batches so no single fabric
+        stacks all the bandwidth demand.
+        """
+        from repro.tenancy.profile import compose_batches
+        ranked = sorted(entries,
+                        key=lambda e: -e[0].params.priority)  # stable
+        items = [(entry, self._bw_classes.get((entry[0].app, scale)))
+                 for entry in ranked]
+        return [[item[0] for item in group] for group in
+                compose_batches(items, self.config.coschedule_max)]
+
+    async def _run_cosched_batch(self, entries, scale, params) -> None:
+        """Run one composed batch on one shared fabric; wake waiters."""
         apps = [request.app for request, _ in entries]
         multi = JobRequest(
             mode="multi", kind="multi", params=params,
             apps=tuple(apps), scale=scale,
+            priorities=tuple(request.params.priority
+                             for request, _ in entries),
             ident=f"cosched:{'+'.join(apps)}:{scale}")
         try:
             await self._slots.acquire()
@@ -326,7 +367,9 @@ class ReproService:
             "coscheduled": {"batch": len(apps), "apps": list(apps),
                             "tenant": tenant["name"],
                             "region": tenant["region"],
+                            "priority": tenant.get("priority", 1),
                             "fabric_cycles": result["fabric_cycles"]},
+            "qos": result.get("qos"),
             "simulate": {"sim_ms": result["simulate"]["sim_ms"],
                          "cycles": tenant["stats"]["cycles"]},
             "stats": tenant["stats"],
@@ -452,6 +495,40 @@ class ReproService:
             self.stats.sims += 1
         if result.get("mode") == "multi":
             self.stats.multis += 1
+        if status == 200:
+            self._learn_bandwidth(result)
+
+    def _learn_bandwidth(self, result: dict) -> None:
+        """Fold a finished job's bandwidth evidence into the classes
+        used to seat future co-schedule batches.
+
+        Solo simulate results carry the exact per-channel occupancy the
+        profiler would measure; bandwidth-profiled pack reports carry
+        ready-made classes.  Co-scheduled per-tenant stats are skipped —
+        co-resident occupancy is skewed by the batch mix.
+        """
+        from repro.tenancy.profile import classify
+        app, scale = result.get("app"), result.get("scale")
+        stats = result.get("stats")
+        if (app and scale and isinstance(stats, dict)
+                and not result.get("coscheduled")):
+            channels = stats.get("dram_channels") or {}
+            utils = [entry.get("util", 0.0)
+                     for entry in channels.values()
+                     if isinstance(entry, dict)]
+            if utils:
+                self._bw_classes[(app, scale)] = classify(
+                    sum(utils) / len(utils))
+        report = result.get("pack_report")
+        bandwidth = (report.get("bandwidth")
+                     if isinstance(report, dict) else None)
+        if isinstance(bandwidth, dict):
+            for prof in (bandwidth.get("tenants") or {}).values():
+                if isinstance(prof, dict) and prof.get("app") \
+                        and prof.get("class"):
+                    self._bw_classes[(prof["app"],
+                                      prof.get("scale", "tiny"))] = \
+                        prof["class"]
 
     # -- chaos injection ---------------------------------------------------------
     def chaos_kill_worker(self) -> JobOutcome:
@@ -499,6 +576,14 @@ class ReproService:
         snapshot["breakers"] = {
             mode: breaker.snapshot()
             for mode, breaker in sorted(self._breakers.items())}
+        snapshot["qos"] = {
+            "priority_jobs": self.stats.priority_jobs,
+            "cosched_reordered": self.stats.cosched_reordered,
+            "bandwidth_classes": {
+                f"{app}:{scale}": klass
+                for (app, scale), klass
+                in sorted(self._bw_classes.items())},
+        }
         snapshot["config"] = {
             "jobs": self.config.jobs,
             "queue_depth": self.config.queue_depth,

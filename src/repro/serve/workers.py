@@ -120,12 +120,13 @@ def execute_multi(payload: dict) -> dict:
     from repro.tenancy import co_run
 
     params = payload["params"]
+    priorities = payload.get("priorities")
     started = time.perf_counter()
     try:
         res = co_run(payload["apps"], scale=payload["scale"],
                      watchdog=int(params["watchdog"]),
                      max_cycles=int(params["max_cycles"]),
-                     validate=True)
+                     validate=True, priorities=priorities)
     except MappingError as err:
         return _error(422, "pack", err)
     except (DeadlockError, SimulationError) as err:
@@ -135,11 +136,13 @@ def execute_multi(payload: dict) -> dict:
     return {
         "ok": True, "status": 200, "mode": "multi",
         "apps": payload["apps"], "scale": payload["scale"],
+        "priorities": priorities,
         "simulate": {"sim_ms": sim_ms,
                      "fabric_cycles": out["fabric_cycles"]},
         "fabric_cycles": out["fabric_cycles"],
         "channel_util": out["channel_util"],
         "pack_report": out["pack_report"],
+        "qos": out["qos"],
         "tenants": out["tenants"],
     }
 

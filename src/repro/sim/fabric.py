@@ -46,10 +46,13 @@ def _regions_overlap(a, b) -> bool:
 class Tenant:
     """One co-resident application: its machine plus fabric-side state."""
 
-    def __init__(self, tid: int, name: str, machine: Machine):
+    def __init__(self, tid: int, name: str, machine: Machine,
+                 priority: int = 1):
         self.id = tid
         self.name = name
         self.machine = machine
+        #: QoS arbitration weight on the shared DRAM channels
+        self.priority = priority
         self.done = False
         #: cycle at which the root controller completed (None while busy)
         self.finish_cycle: Optional[int] = None
@@ -97,14 +100,24 @@ class Fabric:
                    name: Optional[str] = None,
                    tracer: Optional[Tracer] = None,
                    fault_plan=None,
-                   fault_sites: Optional[Dict[str, list]] = None
-                   ) -> Tenant:
+                   fault_sites: Optional[Dict[str, list]] = None,
+                   priority: int = 1) -> Tenant:
         """Admit one compiled artifact as the next tenant.
 
         Tenants after the first must carry a placement ``region`` (the
         tenancy packer emits these) and regions must be pairwise
         disjoint — overlapping units would silently share datapaths.
+
+        ``priority`` (>= 1) is the tenant's weight in the shared DRAM
+        channels' QoS arbitration.  Weighted FR-FCFS only engages when
+        tenants carry *different* priorities; a fabric of equal
+        priorities — any value — runs the bit-identical plain FR-FCFS
+        scheduler (asserted registry-wide, like the lone-tenant
+        invariant).
         """
+        if priority < 1:
+            raise SimulationError(
+                f"tenant priority must be >= 1, got {priority}")
         tid = len(self.tenants)
         if tid > 0:
             regions = [t.machine.config.region for t in self.tenants]
@@ -144,7 +157,8 @@ class Fabric:
                           fault_plan=fault_plan,
                           fault_sites=fault_sites,
                           tenant_name=name)
-        tenant = Tenant(tid, name, machine)
+        tenant = Tenant(tid, name, machine, priority=priority)
+        self.dram.set_tenant_weight(tid, priority)
         self.tenants.append(tenant)
         return tenant
 
@@ -238,3 +252,27 @@ class Fabric:
                             ) -> Dict[str, Dict[str, float]]:
         """One tenant's share of each channel over the whole run."""
         return self.dram.channel_util(tenant.id, self.cycle)
+
+    def qos_summary(self) -> Dict[str, dict]:
+        """Per-tenant QoS view: weight + arbitration outcomes.
+
+        ``arb_won`` / ``arb_deferred`` count contested weighted
+        arbitration rounds summed over all channels; both stay 0 (and
+        ``weighted`` False) when priorities are uniform and the
+        channels run plain FR-FCFS.
+        """
+        out: Dict[str, dict] = {}
+        for tenant in self.tenants:
+            won = deferred = 0
+            for channel in self.dram.channels:
+                arb = channel.arb_stats.get(tenant.id)
+                if arb is not None:
+                    won += arb["arb_won"]
+                    deferred += arb["arb_deferred"]
+            out[tenant.name] = {
+                "priority": tenant.priority,
+                "arb_won": won,
+                "arb_deferred": deferred,
+                "finish_cycle": tenant.finish_cycle,
+            }
+        return {"weighted": self.dram.weighted, "tenants": out}

@@ -2,10 +2,13 @@
 and co-simulate them on one shared chip."""
 
 from repro.tenancy.packer import (PackedTenant, PackReport, pack_apps,
-                                  plan_regions)
+                                  plan_regions, repack)
+from repro.tenancy.profile import (BandwidthProfile, compose_batches,
+                                   profile_app)
 from repro.tenancy.run import CoRunResult, TenantResult, co_run
 
 __all__ = [
     "PackedTenant", "PackReport", "pack_apps", "plan_regions",
+    "repack", "BandwidthProfile", "compose_batches", "profile_app",
     "CoRunResult", "TenantResult", "co_run",
 ]

@@ -21,16 +21,23 @@ when the fleet cannot fit, which app failed and why.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.params import DEFAULT, PlasticineParams
 from repro.bitstream.artifact import Bitstream, CompileOptions
 from repro.compiler.place_route import Region, region_capacity
 from repro.errors import MappingError
+from repro.tenancy.profile import (BandwidthProfile,
+                                   predicted_channel_demand,
+                                   profile_app)
 
 #: commit retries per app before the packing is declared infeasible
 _MAX_RETRIES = 4
+
+#: the site kind a placement failure names ("no free PCU site ...")
+_FAILED_KIND = re.compile(r"no free (PCU|PMU) site")
 
 
 @dataclass
@@ -69,6 +76,9 @@ class PackReport:
     #: populated when infeasible: which app failed, and why
     failed_app: Optional[str] = None
     reason: Optional[str] = None
+    #: bandwidth-aware packs only: per-tenant class + predicted
+    #: per-channel demand (see :mod:`repro.tenancy.profile`)
+    bandwidth: Optional[dict] = None
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +92,7 @@ class PackReport:
             "sites_total": self.sites_total,
             "failed_app": self.failed_app,
             "reason": self.reason,
+            "bandwidth": self.bandwidth,
         }
 
 
@@ -97,12 +108,23 @@ def measure_footprint(app: str, scale: str,
                      artifact.config.pmus_used)
 
 
+#: (grid_cols, grid_rows) -> sorted shape list; shapes depend only on
+#: the grid, and _first_fit re-enumerates them for every candidate, so
+#: memoizing saves an O(cols*rows*log) sort per fit attempt
+_SHAPES_CACHE: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+
+
 def _shapes(params: PlasticineParams) -> List[Tuple[int, int]]:
     """All region shapes, smallest area first (ties: squarer first)."""
+    key = (params.grid_cols, params.grid_rows)
+    cached = _SHAPES_CACHE.get(key)
+    if cached is not None:
+        return cached
     shapes = [(cols, rows)
               for cols in range(1, params.grid_cols + 1)
               for rows in range(1, params.grid_rows + 1)]
     shapes.sort(key=lambda s: (s[0] * s[1], abs(s[0] - s[1]), s))
+    _SHAPES_CACHE[key] = shapes
     return shapes
 
 
@@ -123,32 +145,65 @@ def _first_fit(params: PlasticineParams, need_pcus: int, need_pmus: int,
     return None
 
 
+def _plan_order(footprints: Sequence[Footprint],
+                profiles: Optional[Dict[str, BandwidthProfile]]
+                ) -> List[Footprint]:
+    """Placement order: FFD by area, bandwidth-interleaved if profiled.
+
+    With profiles, memory-bound and compute-bound apps alternate (each
+    class still largest-first) so complementary tenants land in
+    adjacent regions and the memory-bound ones spread out instead of
+    clustering wherever pure area order happened to drop them.
+    """
+    by_area = sorted(footprints, key=lambda f: f.area, reverse=True)
+    if not profiles:
+        return by_area
+    memory = [f for f in by_area
+              if profiles.get(f.app) is not None
+              and profiles[f.app].memory_bound]
+    memory_ids = {id(f) for f in memory}
+    rest = [f for f in by_area if id(f) not in memory_ids]
+    order: List[Footprint] = []
+    while memory or rest:
+        if memory:
+            order.append(memory.pop(0))
+        if rest:
+            order.append(rest.pop(0))
+    return order
+
+
 def plan_regions(footprints: Sequence[Footprint],
                  params: PlasticineParams = DEFAULT,
-                 slack: Optional[Dict[str, int]] = None) -> PackReport:
+                 slack: Optional[Dict[str, Tuple[int, int]]] = None,
+                 profiles: Optional[Dict[str, BandwidthProfile]] = None
+                 ) -> PackReport:
     """First-fit-decreasing region plan for a list of footprints.
 
-    ``slack`` maps app name -> extra units to demand beyond the
-    measured footprint (the commit phase uses it to grow a region whose
-    exact-capacity placement failed).  Order within the returned report
-    follows the *input* order, so tenant ids are stable regardless of
-    the packing order.
+    ``slack`` maps app name -> extra ``(pcus, pmus)`` to demand beyond
+    the measured footprint (the commit phase uses it to grow — along
+    the failing resource only — a region whose exact-capacity
+    placement failed).  ``profiles`` switches placement order to the
+    bandwidth-interleaved discipline (see :func:`_plan_order`).  Order
+    within the returned report follows the *input* order, so tenant
+    ids are stable regardless of the packing order.
     """
     slack = slack or {}
-    order = sorted(footprints, key=lambda f: f.area, reverse=True)
+    order = _plan_order(footprints, profiles)
     taken: List[Region] = []
     placed: Dict[str, PackedTenant] = {}
     total = params.grid_cols * params.grid_rows
     for fp in order:
-        extra = slack.get(fp.app, 0)
-        fit = _first_fit(params, fp.pcus + extra, fp.pmus + extra, taken)
+        extra_pcus, extra_pmus = slack.get(fp.app, (0, 0))
+        fit = _first_fit(params, fp.pcus + extra_pcus,
+                         fp.pmus + extra_pmus, taken)
         if fit is None:
             return PackReport(
                 feasible=False, tenants=list(placed.values()),
                 sites_used=sum(r.area for r in taken), sites_total=total,
                 failed_app=fp.app,
-                reason=(f"no free rectangle provides {fp.pcus + extra} "
-                        f"PCUs + {fp.pmus + extra} PMUs alongside "
+                reason=(f"no free rectangle provides "
+                        f"{fp.pcus + extra_pcus} PCUs + "
+                        f"{fp.pmus + extra_pmus} PMUs alongside "
                         f"{[str(r) for r in taken]}"))
         fit.app = fp.app
         fit.footprint = fp
@@ -160,13 +215,40 @@ def plan_regions(footprints: Sequence[Footprint],
                       sites_total=total)
 
 
+def _grow_slack(slack: Dict[str, Tuple[int, int]], app: str,
+                message: str) -> None:
+    """Inflate one app's demanded capacity along the failing resource.
+
+    Placement failures name the exhausted site kind ("no free PCU
+    site ..."); only that resource grows.  A failure that names no
+    kind (e.g. routing congestion) grows both, since either could
+    relieve it.
+    """
+    pcus, pmus = slack.get(app, (0, 0))
+    match = _FAILED_KIND.search(message)
+    if match is None:
+        slack[app] = (pcus + 2, pmus + 2)
+    elif match.group(1) == "PCU":
+        slack[app] = (pcus + 2, pmus)
+    else:
+        slack[app] = (pcus, pmus + 2)
+
+
 def pack_apps(apps: Sequence[str], scale: str = "tiny",
               params: PlasticineParams = DEFAULT,
-              options: Optional[CompileOptions] = None) -> PackReport:
+              options: Optional[CompileOptions] = None,
+              bandwidth_aware: bool = False) -> PackReport:
     """Plan and commit a packing: region-compiled artifacts for all apps.
 
     Duplicate app names are allowed (the same workload co-resident with
     itself); each occurrence gets its own tenant and region.
+
+    ``bandwidth_aware`` adds a profile phase: each distinct app is
+    solo-run briefly (or replayed from the process-wide profile cache)
+    and classified compute- vs memory-bound from its measured
+    per-channel data-bus occupancy; placement then interleaves the
+    classes so complementary tenants sit side by side, and the report
+    carries per-tenant classes plus predicted per-channel demand.
     """
     from repro.compiler.artifact import compile_to_bitstream
     names = _unique_names(apps)
@@ -174,10 +256,18 @@ def pack_apps(apps: Sequence[str], scale: str = "tiny",
     for name, app in zip(names, apps):
         fp = measure_footprint(app, scale, params, options)
         footprints.append(Footprint(name, fp.pcus, fp.pmus))
-    slack: Dict[str, int] = {}
+    profiles: Optional[Dict[str, BandwidthProfile]] = None
+    if bandwidth_aware:
+        by_app = {app: profile_app(app, scale, params=params,
+                                   options=options)
+                  for app in set(apps)}
+        profiles = {name: by_app[app]
+                    for name, app in zip(names, apps)}
+    slack: Dict[str, Tuple[int, int]] = {}
     report = None
     for _ in range(_MAX_RETRIES):
-        report = plan_regions(footprints, params, slack)
+        report = plan_regions(footprints, params, slack,
+                              profiles=profiles)
         if not report.feasible:
             return report
         failed = None
@@ -190,12 +280,27 @@ def pack_apps(apps: Sequence[str], scale: str = "tiny",
                 failed = (tenant.app, str(err))
                 break
         if failed is None:
+            if profiles is not None:
+                report.bandwidth = _bandwidth_section(
+                    names, profiles, params)
             return report
-        # grow the offender's demanded capacity and replan
-        slack[failed[0]] = slack.get(failed[0], 0) + 2
+        # grow the offender's demanded capacity along the failing
+        # resource and replan
+        _grow_slack(slack, failed[0], failed[1])
         report.feasible = False
         report.failed_app, report.reason = failed
     return report
+
+
+def _bandwidth_section(names: Sequence[str],
+                       profiles: Dict[str, BandwidthProfile],
+                       params: PlasticineParams) -> dict:
+    """The ``PackReport.bandwidth`` payload for a profiled packing."""
+    return {
+        "tenants": {name: profiles[name].as_dict() for name in names},
+        "predicted_channel_demand": predicted_channel_demand(
+            [profiles[name] for name in names], params),
+    }
 
 
 def repack(report: PackReport, failed_region: Region,
@@ -233,6 +338,35 @@ def repack(report: PackReport, failed_region: Region,
         return report
     taken = [t.region for t in keep] + [failed_region]
     migrated: Dict[int, PackedTenant] = {}
+
+    def _failure(failed_fp: Footprint, reason: str) -> PackReport:
+        """Infeasible report in the *original* tenant order.
+
+        Movers migrated before the failure keep their freshly
+        committed placements; movers never re-placed are reported with
+        their stale (failed-region) rectangles but with artifacts
+        cleared — those bitstreams target broken hardware and must not
+        be replayed.  The caller's feasible report is never mutated.
+        """
+        by_old = {id(t): migrated[i]
+                  for i, (t, _) in enumerate(movers) if i in migrated}
+        unmigrated = {id(t) for i, (t, _) in enumerate(movers)
+                      if i not in migrated}
+        tenants = []
+        for tenant in report.tenants:
+            if id(tenant) in by_old:
+                tenants.append(by_old[id(tenant)])
+            elif id(tenant) in unmigrated:
+                tenants.append(replace(tenant, artifact=None))
+            else:
+                tenants.append(tenant)
+        return PackReport(
+            feasible=False, tenants=tenants,
+            sites_used=sum(r.area for r in taken
+                           if r is not failed_region),
+            sites_total=total, failed_app=failed_fp.app,
+            reason=reason)
+
     # largest movers first: hardest to place, same FFD discipline
     order = sorted(range(len(movers)),
                    key=lambda i: movers[i][0].footprint.area,
@@ -240,41 +374,34 @@ def repack(report: PackReport, failed_region: Region,
     for index in order:
         tenant, app = movers[index]
         fp = tenant.footprint
-        slack = 0
+        slack = (0, 0)
         placed = None
         for _ in range(_MAX_RETRIES):
-            fit = _first_fit(params, fp.pcus + slack, fp.pmus + slack,
-                             taken)
+            fit = _first_fit(params, fp.pcus + slack[0],
+                             fp.pmus + slack[1], taken)
             if fit is None:
-                return PackReport(
-                    feasible=False,
-                    tenants=keep + [m for m, _ in movers],
-                    sites_used=sum(r.area for r in taken
-                                   if r is not failed_region),
-                    sites_total=total, failed_app=fp.app,
-                    reason=(f"no free rectangle left for {fp.app} "
-                            f"({fp.pcus} PCUs + {fp.pmus} PMUs) after "
-                            f"excluding failed region "
-                            f"{failed_region}"))
+                return _failure(
+                    fp,
+                    f"no free rectangle left for {fp.app} "
+                    f"({fp.pcus} PCUs + {fp.pmus} PMUs) after "
+                    f"excluding failed region {failed_region}")
             try:
                 artifact = compile_to_bitstream(
                     app, scale, params=params, options=options,
                     region=fit.region)
-            except MappingError:
-                slack += 2
+            except MappingError as err:
+                grown = {fp.app: slack}
+                _grow_slack(grown, fp.app, str(err))
+                slack = grown[fp.app]
                 continue
             placed = PackedTenant(fp.app, fit.region, fp,
                                   fit.capacity, artifact)
             break
         if placed is None:
-            return PackReport(
-                feasible=False,
-                tenants=keep + [m for m, _ in movers],
-                sites_used=sum(r.area for r in taken
-                               if r is not failed_region),
-                sites_total=total, failed_app=fp.app,
-                reason=(f"could not commit {fp.app} into any fresh "
-                        f"rectangle after {_MAX_RETRIES} retries"))
+            return _failure(
+                fp,
+                f"could not commit {fp.app} into any fresh "
+                f"rectangle after {_MAX_RETRIES} retries")
         taken.append(placed.region)
         migrated[index] = placed
     by_old = {id(t): migrated[i]

@@ -1,0 +1,184 @@
+"""Bandwidth profiling: classify apps compute- vs memory-bound.
+
+The multi-tenant fabric shares exactly one resource between tenants:
+the DRAM channels (compute regions are disjoint by construction).  So
+the useful packing signal is each app's *solo* off-chip bandwidth
+demand — measured, not guessed, by briefly running the app alone and
+reading the per-channel data-bus occupancy the simulator already
+tracks (``SimStats.dram_channels``).
+
+A profile classifies the app:
+
+* ``memory`` — the solo run keeps the channel data buses busy a
+  significant fraction of its cycles; co-residency with other
+  memory-bound tenants will contend;
+* ``compute`` — the app's cycles are dominated by datapath work; it
+  co-locates cheaply with anyone.
+
+Profiles are cached per (app, scale, params) — pack planning, serve
+batch composition and benchmarks all share one measurement.  The
+tenant DRAM slices the fabric assigns are channel-interleave aligned,
+so every tenant's traffic stripes evenly across all channels;
+``predicted_channel_demand`` therefore spreads each tenant's measured
+bytes/cycle uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.arch.params import DEFAULT, PlasticineParams
+from repro.bitstream.artifact import CompileOptions
+
+#: mean data-bus occupancy (fraction of solo cycles) above which an
+#: app counts as memory-bound.  Streaming registry apps sit well above
+#: this; dense compute sits well below.
+MEMORY_BOUND_UTIL = 0.20
+
+#: process-wide profile cache: (app, scale, params) -> BandwidthProfile
+_CACHE: Dict[tuple, "BandwidthProfile"] = {}
+
+
+@dataclass(frozen=True)
+class BandwidthProfile:
+    """One app's measured solo DRAM demand."""
+
+    app: str
+    scale: str
+    #: solo run length
+    cycles: int
+    #: bytes moved over the whole solo run
+    dram_bytes: int
+    #: average off-chip demand (bytes per cycle == GB/s at 1 GHz)
+    bytes_per_cycle: float
+    #: mean per-channel data-bus occupancy over the solo run
+    bus_util: float
+    #: "memory" | "compute"
+    klass: str
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.klass == "memory"
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app, "scale": self.scale,
+            "cycles": self.cycles, "dram_bytes": self.dram_bytes,
+            "bytes_per_cycle": round(self.bytes_per_cycle, 3),
+            "bus_util": round(self.bus_util, 4),
+            "class": self.klass,
+        }
+
+
+def classify(bus_util: float,
+             threshold: float = MEMORY_BOUND_UTIL) -> str:
+    """Bandwidth class from mean data-bus occupancy."""
+    return "memory" if bus_util >= threshold else "compute"
+
+
+def profile_app(app: str, scale: str = "tiny",
+                params: PlasticineParams = DEFAULT,
+                options: Optional[CompileOptions] = None,
+                cache: bool = True) -> BandwidthProfile:
+    """Measure one app's solo bandwidth demand (cached).
+
+    Compiles the app for the full grid and runs it solo — the same
+    solo run whose statistics the multi-tenant equivalence invariant
+    pins, so the measurement is exact, deterministic and cheap at
+    profiling scales.  ``cache=False`` forces a fresh measurement
+    (only meaningful with non-default ``options``, which are excluded
+    from the cache key).
+    """
+    key = (app, scale, params)
+    if cache and options is None:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
+    from repro.compiler.artifact import compile_to_bitstream
+    from repro.sim.machine import Machine
+
+    artifact = compile_to_bitstream(app, scale, params=params,
+                                    options=options)
+    machine = Machine(artifact.dhdl, artifact.config)
+    stats = machine.run()
+    utils = [entry["util"] for entry in stats.dram_channels.values()]
+    bus_util = sum(utils) / len(utils) if utils else 0.0
+    nbytes = stats.dram.get("bytes", 0)
+    profile = BandwidthProfile(
+        app=app, scale=scale, cycles=stats.cycles, dram_bytes=nbytes,
+        bytes_per_cycle=nbytes / stats.cycles if stats.cycles else 0.0,
+        bus_util=bus_util, klass=classify(bus_util))
+    if cache and options is None:
+        _CACHE[key] = profile
+    return profile
+
+
+def clear_profile_cache() -> None:
+    """Drop every cached measurement (tests, param sweeps)."""
+    _CACHE.clear()
+
+
+def predicted_channel_demand(profiles: Sequence[BandwidthProfile],
+                             params: PlasticineParams = DEFAULT
+                             ) -> Dict[str, dict]:
+    """Predicted per-channel bytes/cycle if all profiles co-reside.
+
+    Tenant DRAM slices are channel-interleave aligned (see
+    :class:`repro.sim.fabric.Fabric`), so each tenant's bursts stripe
+    uniformly over all channels and its demand splits evenly.  The
+    prediction is a *demand* (what the tenants would consume with no
+    interference), so per-channel totals above the data-bus capacity
+    flag contention the packer should spread across fabrics.
+    """
+    from repro.dram.timing import DDR3_1600
+
+    channels = params.dram.channels
+    per_channel = sum(p.bytes_per_cycle for p in profiles) / channels
+    # one channel moves burst_bytes per t_burst cycles flat out
+    capacity = params.dram.burst_bytes / DDR3_1600.t_burst
+    out: Dict[str, dict] = {}
+    for k in range(channels):
+        out[f"ch{k}"] = {
+            "bytes_per_cycle": round(per_channel, 3),
+            "fraction_of_peak": round(per_channel / capacity, 4),
+        }
+    return out
+
+
+def _is_memory_bound(tag) -> bool:
+    """Accept a :class:`BandwidthProfile`, a class string, or None."""
+    if tag is None:
+        return False
+    if isinstance(tag, str):
+        return tag == "memory"
+    return tag.memory_bound
+
+
+def compose_batches(items: Sequence[tuple], max_size: int
+                    ) -> "list[list]":
+    """Partition (key, class) items into co-residency groups.
+
+    Greedy complementary packing: memory-bound items are dealt
+    round-robin across the groups first (spreading the bandwidth
+    demand), then compute-bound and unknown items fill the remaining
+    seats — so each fabric mixes classes instead of stacking its
+    memory-bound arrivals together, FIFO-style.  Items are (anything,
+    class), where class is a :class:`BandwidthProfile`, a
+    ``"memory"``/``"compute"`` string (the serve tier learns bare
+    classes), or None for unknown; returns groups of the original
+    items, order within the input preserved per class.
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    items = list(items)
+    groups: "list[list]" = [[] for _ in range(
+        -(-len(items) // max_size))]
+    memory = [it for it in items if _is_memory_bound(it[1])]
+    rest = [it for it in items if not _is_memory_bound(it[1])]
+    for k, item in enumerate(memory):
+        groups[k % len(groups)].append(item)
+    for item in rest:
+        target = min(groups, key=len)
+        target.append(item)
+    return [g for g in groups if g]

@@ -39,6 +39,8 @@ class TenantResult:
     #: this tenant's share of each DRAM channel over the whole run
     channel_util: Dict[str, Dict[str, float]]
     validated: bool = False
+    #: QoS weight in the shared DRAM arbitration (1 = best effort)
+    priority: int = 1
 
 
 @dataclass
@@ -51,6 +53,9 @@ class CoRunResult:
     #: aggregate per-channel utilization over the makespan
     channel_util: Dict[str, Dict[str, float]]
     pack_report: Optional[dict] = None
+    #: per-tenant QoS view (weights + arbitration outcomes); see
+    #: :meth:`repro.sim.fabric.Fabric.qos_summary`
+    qos: Optional[dict] = None
 
     def by_name(self) -> Dict[str, TenantResult]:
         return {t.name: t for t in self.tenants}
@@ -60,11 +65,13 @@ class CoRunResult:
             "fabric_cycles": self.fabric_cycles,
             "channel_util": self.channel_util,
             "pack_report": self.pack_report,
+            "qos": self.qos,
             "tenants": [
                 {"app": t.app, "name": t.name,
                  "region": list(t.region) if t.region else None,
                  "finish_cycle": t.finish_cycle,
                  "validated": t.validated,
+                 "priority": t.priority,
                  "stats": t.stats.as_dict()}
                 for t in self.tenants],
         }
@@ -77,7 +84,9 @@ def co_run(apps: Sequence[str], scale: str = "tiny",
            max_cycles: int = 20_000_000,
            validate: bool = True,
            tracer_factory=None,
-           packing: Optional[PackReport] = None) -> CoRunResult:
+           packing: Optional[PackReport] = None,
+           priorities: Optional[Sequence[int]] = None,
+           bandwidth_aware: bool = False) -> CoRunResult:
     """Pack ``apps`` onto one fabric, run to completion, validate.
 
     ``tracer_factory`` (tenant name -> Tracer) attaches one tracer per
@@ -88,11 +97,22 @@ def co_run(apps: Sequence[str], scale: str = "tiny",
     (e.g. one produced by :func:`repro.tenancy.packer.repack` after a
     fault) instead of planning a fresh one; the report's tenants must
     line up with ``apps``.
+
+    ``priorities`` (one int >= 1 per app) weights each tenant in the
+    shared DRAM channels' QoS arbitration; omitted or all-equal
+    priorities run the bit-identical plain FR-FCFS scheduler.
+    ``bandwidth_aware`` turns on the packer's profile phase (solo-run
+    classification + complementary placement + predicted per-channel
+    demand in the pack report).
     """
     from repro.apps.registry import get_app
     from repro.compiler.artifact import compile_to_bitstream
     if not apps:
         raise ValueError("co_run needs at least one app")
+    if priorities is not None and len(priorities) != len(apps):
+        raise ValueError(
+            f"priorities must line up with apps: {len(priorities)} "
+            f"priorities for {len(apps)} apps")
     fabric = Fabric(watchdog=watchdog, max_cycles=max_cycles)
     report = None
     if packing is None and len(apps) == 1:
@@ -102,7 +122,8 @@ def co_run(apps: Sequence[str], scale: str = "tiny",
     else:
         if packing is None:
             packing = pack_apps(apps, scale, params=params,
-                                options=options)
+                                options=options,
+                                bandwidth_aware=bandwidth_aware)
         report = packing.as_dict()
         if not packing.feasible:
             raise MappingError(
@@ -116,11 +137,12 @@ def co_run(apps: Sequence[str], scale: str = "tiny",
                     tenant.region.as_tuple())
                    for tenant, app in zip(packing.tenants, apps)]
     handles = []
-    for name, app, artifact, _region in entries:
+    for k, (name, app, artifact, _region) in enumerate(entries):
         tracer = (tracer_factory(name) if tracer_factory is not None
                   else None)
-        handle = fabric.add_tenant(artifact.dhdl, artifact.config,
-                                   name=name, tracer=tracer)
+        handle = fabric.add_tenant(
+            artifact.dhdl, artifact.config, name=name, tracer=tracer,
+            priority=priorities[k] if priorities is not None else 1)
         handles.append(handle)
     fabric.run()
     tenants = []
@@ -137,7 +159,8 @@ def co_run(apps: Sequence[str], scale: str = "tiny",
             app=app, name=handle.name, stats=handle.machine.stats,
             region=region, finish_cycle=handle.finish_cycle,
             channel_util=fabric.tenant_channel_util(handle),
-            validated=validated))
+            validated=validated, priority=handle.priority))
     return CoRunResult(
         tenants=tenants, fabric_cycles=fabric.cycle,
-        channel_util=fabric.channel_util(), pack_report=report)
+        channel_util=fabric.channel_util(), pack_report=report,
+        qos=fabric.qos_summary())

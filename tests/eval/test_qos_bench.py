@@ -1,0 +1,118 @@
+"""The QoS arbitration benchmark and its CI gate logic.
+
+One real ``run_qos_benchmark`` call (a small two-tenant workload)
+anchors the report shape; the gate tests then drive ``compare_qos``
+against doctored baselines.  Cycle counts are deterministic, so the
+gate demands exact equality, a strict weighted-beats-unweighted check,
+and a committed high-priority-speedup floor.
+"""
+
+import copy
+
+import pytest
+
+from repro.eval.multi import (QOS_APPS, QOS_PRIORITIES, compare_qos,
+                              render_qos, run_qos_benchmark)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_qos_benchmark(("gemm", "tpchq6", "tpchq6"), (8, 1, 1),
+                             scale="tiny")
+
+
+def test_report_shape(report):
+    assert report["apps"] == ["gemm", "tpchq6", "tpchq6"]
+    assert report["priorities"] == [8, 1, 1]
+    assert report["hi_tenant"] == "gemm"
+    assert report["validated"] is True
+    assert report["unweighted_hi_cycles"] > 0
+    assert report["weighted_hi_cycles"] > 0
+    assert report["hi_speedup"] == pytest.approx(
+        report["unweighted_hi_cycles"] / report["weighted_hi_cycles"],
+        abs=1e-4)
+    assert report["bandwidth_classes"] == {"gemm": "compute",
+                                           "tpchq6": "memory"}
+    assert report["qos"]["weighted"] is True
+
+
+def test_priority_actually_buys_latency(report):
+    assert report["weighted_hi_cycles"] < report["unweighted_hi_cycles"]
+
+
+def test_default_workload_is_one_hi_many_riders():
+    assert len(QOS_APPS) == len(QOS_PRIORITIES)
+    assert QOS_PRIORITIES.count(max(QOS_PRIORITIES)) == 1
+
+
+def test_mismatched_priorities_rejected():
+    with pytest.raises(ValueError, match="priorities"):
+        run_qos_benchmark(("gemm", "tpchq6"), (8,))
+
+
+def test_render_mentions_the_key_numbers(report):
+    text = render_qos(report)
+    assert str(report["weighted_hi_cycles"]) in text
+    assert "gemm" in text and "weight 8" in text
+
+
+# ---------------------------------------------------------------------------
+# Gate logic (doctored baselines; no simulation)
+# ---------------------------------------------------------------------------
+
+
+def _baseline(report, **overrides):
+    base = {
+        "apps": report["apps"],
+        "priorities": report["priorities"],
+        "unweighted_hi_cycles": report["unweighted_hi_cycles"],
+        "weighted_hi_cycles": report["weighted_hi_cycles"],
+        "unweighted_fabric_cycles": report["unweighted_fabric_cycles"],
+        "weighted_fabric_cycles": report["weighted_fabric_cycles"],
+        "min_hi_speedup": 1.0,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_gate_passes_against_matching_baseline(report):
+    assert compare_qos(report, _baseline(report)) == []
+
+
+def test_gate_fails_on_workload_mismatch(report):
+    failures = compare_qos(report,
+                           _baseline(report, apps=["gemm", "gemm"]))
+    assert failures and "workload changed" in failures[0]
+
+
+def test_gate_pins_exact_cycles(report):
+    doctored = _baseline(report,
+                         weighted_hi_cycles=report["weighted_hi_cycles"]
+                         + 1)
+    failures = compare_qos(report, doctored)
+    assert any("weighted_hi_cycles changed" in f for f in failures)
+
+
+def test_gate_enforces_speedup_floor(report):
+    failures = compare_qos(
+        report, _baseline(report,
+                          min_hi_speedup=report["hi_speedup"] + 1.0))
+    assert any("committed floor" in f for f in failures)
+
+
+def test_gate_rejects_useless_priority(report):
+    doctored = copy.deepcopy(report)
+    doctored["weighted_hi_cycles"] = doctored["unweighted_hi_cycles"]
+    doctored["hi_speedup"] = 1.0
+    baseline = _baseline(
+        doctored, weighted_hi_cycles=doctored["weighted_hi_cycles"],
+        min_hi_speedup=0.0)
+    failures = compare_qos(doctored, baseline)
+    assert any("priority buys nothing" in f for f in failures)
+
+
+def test_gate_rejects_unvalidated_report(report):
+    doctored = copy.deepcopy(report)
+    doctored["validated"] = False
+    failures = compare_qos(doctored, _baseline(report))
+    assert any("not validated" in f for f in failures)

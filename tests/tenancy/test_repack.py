@@ -78,3 +78,45 @@ def test_repack_infeasible_when_grid_exhausted(packing):
     assert not report.feasible
     assert report.failed_app
     assert "no free rectangle" in report.reason
+
+
+def test_repack_infeasible_preserves_input_order(packing):
+    """Regression: the infeasible report used to come back in the
+    internal largest-first placement order, so callers indexing it by
+    the apps list read the wrong tenant."""
+    params = packing.tenants[0].artifact.config.params
+    whole = Region(0, 0, params.grid_cols, params.grid_rows)
+    report = repack(packing, whole, APPS, "tiny")
+    assert not report.feasible
+    assert [t.app for t in report.tenants] == APPS
+    assert len(report.tenants) == len(packing.tenants)
+
+
+def test_repack_infeasible_clears_stale_artifacts(packing):
+    """Regression: unmigrated movers kept bitstreams targeting the
+    failed hardware.  They must come back artifact-less (replaying
+    them would program broken sites) while their stale rectangles
+    remain readable for diagnostics."""
+    params = packing.tenants[0].artifact.config.params
+    whole = Region(0, 0, params.grid_cols, params.grid_rows)
+    report = repack(packing, whole, APPS, "tiny")
+    assert not report.feasible
+    for original, tenant in zip(packing.tenants, report.tenants):
+        assert tenant.artifact is None
+        assert tenant.region == original.region
+
+
+def test_repack_infeasible_never_mutates_caller(packing):
+    """The caller's feasible report must survive a failed repack
+    intact — artifacts still committed, still replayable."""
+    params = packing.tenants[0].artifact.config.params
+    whole = Region(0, 0, params.grid_cols, params.grid_rows)
+    before = [(t.app, t.region, t.artifact) for t in packing.tenants]
+    repack(packing, whole, APPS, "tiny")
+    assert packing.feasible
+    for (app, region, artifact), tenant in zip(before,
+                                               packing.tenants):
+        assert tenant.app == app
+        assert tenant.region == region
+        assert tenant.artifact is artifact
+        assert tenant.artifact is not None
